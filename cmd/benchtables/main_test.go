@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"fpgapart/internal/expt"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan struct{})
+	var out strings.Builder
+	go func() {
+		buf := make([]byte, 1<<16)
+		for {
+			n, err := r.Read(buf)
+			out.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		close(done)
+	}()
+	ferr := fn()
+	w.Close()
+	<-done
+	os.Stdout = old
+	return out.String(), ferr
+}
+
+func quickCfg() expt.Config {
+	return expt.Config{Scale: 12, Runs: 2, Solutions: 2, Seed: 1}
+}
+
+func TestRunStaticTables(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(quickCfg(), map[string]bool{"1": true, "2": true, "f3": true}, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TABLE I", "TABLE II", "FIGURE 3", "XC3090", "total wall time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExperimentTables(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(quickCfg(), map[string]bool{"3": true, "4": true, "5": true, "6": true, "7": true}, t.TempDir())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TABLE III", "TABLE IV", "TABLE V", "TABLE VI", "TABLE VII"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Command kpart partitions a circuit into a heterogeneous FPGA
+// library, minimizing total device cost (Eq. 1) and interconnect
+// (Eq. 2) with optional functional replication.
+//
+// Input is either a mapped circuit (.clb, see internal/hypergraph) or
+// a gate-level netlist (.gnl, see internal/netlist), which is
+// technology-mapped first.
+//
+// Usage:
+//
+//	kpart [-t 1] [-solutions 50] [-seed 1] [-gate] [-v] circuit.clb
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fpgapart/internal/core"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/netlist"
+	"fpgapart/internal/report"
+	"fpgapart/internal/techmap"
+	"fpgapart/internal/verify"
+)
+
+func main() {
+	threshold := flag.Int("t", 1, "replication potential threshold T (-1 disables replication)")
+	solutions := flag.Int("solutions", 50, "feasible k-way solutions to generate")
+	seed := flag.Int64("seed", 1, "random seed")
+	gate := flag.Bool("gate", false, "input is a gate-level netlist (.gnl); map it first")
+	verbose := flag.Bool("v", false, "print per-part details")
+	check := flag.Bool("verify", false, "verify the partition against the source circuit")
+	outDir := flag.String("o", "", "write each part as <dir>/<circuit>.pN.clb")
+	jsonOut := flag.Bool("json", false, "print the solution summary as JSON")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kpart [flags] <circuit.clb|circuit.gnl>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *threshold, *solutions, *seed, *gate || strings.HasSuffix(flag.Arg(0), ".gnl"), *verbose, *check, *outDir, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "kpart:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, threshold, solutions int, seed int64, gate, verbose, check bool, outDir string, jsonOut bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var g *hypergraph.Graph
+	if gate {
+		n, err := netlist.Read(f)
+		if err != nil {
+			return err
+		}
+		m, err := techmap.Map(n, techmap.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		s := n.Stats()
+		fmt.Printf("mapped %s: %d gates (%d FF) -> %d CLBs, %d IOBs\n",
+			n.Name, s.Gates, s.DFFs, m.Graph.NumCells(), m.Graph.NumTerminals())
+		g = m.Graph
+	} else {
+		g, err = hypergraph.Read(f)
+		if err != nil {
+			return err
+		}
+	}
+
+	res, err := core.Partition(g, core.Options{Threshold: threshold, Solutions: solutions, Seed: seed})
+	if err != nil {
+		return err
+	}
+	s := res.Summary
+	fmt.Printf("circuit %s: %d cells, %d CLBs, %d terminals\n",
+		g.Name, g.NumCells(), g.TotalArea(), g.NumTerminals())
+	fmt.Printf("partition: k=%d  cost=%.0f  avg CLB util=%.0f%%  avg IOB util=%.0f%%  replicated=%d (%.1f%%)\n",
+		s.K(), s.DeviceCost(), 100*s.AvgCLBUtil(), 100*s.AvgIOBUtil(),
+		s.ReplicatedCells(), s.ReplicatedPct(res.SourceCells))
+	fmt.Printf("search: %d feasible solutions, %d failed attempts; cost spread min=%.0f mean=%.0f max=%.0f\n",
+		res.Feasible, res.Failed, res.CostMin, res.CostMean, res.CostMax)
+	if check {
+		if err := verify.Partition(g, res); err != nil {
+			return err
+		}
+		fmt.Println("verify: partition is consistent (coverage, producers, IOB accounting)")
+	}
+	if verbose {
+		t := report.NewTable("", "Part", "Device", "CLBs", "Util", "Terms", "IOBs", "Cells", "Replicas")
+		for i, p := range res.Parts {
+			t.Row(fmt.Sprintf("P%d", i), p.Device.Name, p.Graph.TotalArea(),
+				fmt.Sprintf("%.0f%%", 100*p.Device.Utilization(p.Graph.TotalArea())),
+				p.Graph.NumTerminals(), p.Device.IOBs, p.Graph.NumCells(), p.Replicas)
+		}
+		t.Render(os.Stdout)
+	}
+	if jsonOut {
+		if err := writeJSON(os.Stdout, g, res); err != nil {
+			return err
+		}
+	}
+	if outDir != "" {
+		if err := writeParts(outDir, g.Name, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d part netlists to %s\n", len(res.Parts), outDir)
+	}
+	return nil
+}
+
+// writeParts materializes each part as a standalone .clb file.
+func writeParts(dir, name string, res core.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, p := range res.Parts {
+		path := filepath.Join(dir, fmt.Sprintf("%s.p%d.clb", name, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = hypergraph.Write(f, p.Graph)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonSolution is the machine-readable summary schema.
+type jsonSolution struct {
+	Circuit     string     `json:"circuit"`
+	K           int        `json:"k"`
+	DeviceCost  float64    `json:"device_cost"`
+	CLBUtil     float64    `json:"avg_clb_util"`
+	IOBUtil     float64    `json:"avg_iob_util"`
+	Replicated  int        `json:"replicated_cells"`
+	SourceCells int        `json:"source_cells"`
+	Parts       []jsonPart `json:"parts"`
+}
+
+type jsonPart struct {
+	Device    string `json:"device"`
+	CLBs      int    `json:"clbs"`
+	Terminals int    `json:"terminals"`
+	Cells     int    `json:"cells"`
+	Replicas  int    `json:"replicas"`
+}
+
+func writeJSON(w io.Writer, g *hypergraph.Graph, res core.Result) error {
+	out := jsonSolution{
+		Circuit:     g.Name,
+		K:           res.Summary.K(),
+		DeviceCost:  res.Summary.DeviceCost(),
+		CLBUtil:     res.Summary.AvgCLBUtil(),
+		IOBUtil:     res.Summary.AvgIOBUtil(),
+		Replicated:  res.Summary.ReplicatedCells(),
+		SourceCells: res.SourceCells,
+	}
+	for _, p := range res.Parts {
+		out.Parts = append(out.Parts, jsonPart{
+			Device: p.Device.Name, CLBs: p.Graph.TotalArea(),
+			Terminals: p.Graph.NumTerminals(), Cells: p.Graph.NumCells(), Replicas: p.Replicas,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/netlist"
+)
+
+// capture redirects stdout around fn.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), ferr
+}
+
+func writeCLB(t *testing.T) string {
+	t.Helper()
+	g, err := bench.Generate(bench.Params{Cells: 120, PrimaryIn: 10, PrimaryOut: 6, Seed: 1, Clustering: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.clb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := hypergraph.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCLB(t *testing.T) {
+	path := writeCLB(t)
+	out, err := capture(t, func() error {
+		return run(path, 1, 3, 1, false, true, true, "", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"partition: k=", "verify: partition is consistent", "Device"} {
+		if !contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunGateNetlist(t *testing.T) {
+	n, err := netlist.Random(netlist.RandomParams{Gates: 200, Inputs: 10, Outputs: 6, DffFrac: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.gnl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.Write(f, n); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out, err := capture(t, func() error {
+		return run(path, 1, 2, 1, true, false, false, "", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "mapped") {
+		t.Fatalf("missing mapping line:\n%s", out)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("/nonexistent.clb", 1, 1, 1, false, false, false, "", false)
+	}); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+func TestRunJSONAndParts(t *testing.T) {
+	path := writeCLB(t)
+	dir := filepath.Join(t.TempDir(), "parts")
+	out, err := capture(t, func() error {
+		return run(path, 1, 3, 1, false, false, false, dir, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, `"device_cost"`) || !contains(out, `"parts"`) {
+		t.Fatalf("missing JSON output:\n%s", out)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no part files written")
+	}
+	// Every exported part parses back as a valid circuit.
+	for _, fe := range files {
+		f, err := os.Open(filepath.Join(dir, fe.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := hypergraph.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", fe.Name(), err)
+		}
+		if g.NumCells() == 0 {
+			t.Fatalf("%s: empty part", fe.Name())
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command netgen emits synthetic benchmark circuits: either a named
+// circuit of the paper's suite (mapped .clb form), a parameterized
+// mapped circuit, or a random gate-level netlist (.gnl).
+//
+// Usage:
+//
+//	netgen -suite s9234 > s9234.clb
+//	netgen -cells 500 -pi 30 -po 20 -dff 100 -seed 7 > synth.clb
+//	netgen -gates 2000 -pi 30 -po 20 -seed 7 -gate > synth.gnl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/netlist"
+)
+
+func main() {
+	suite := flag.String("suite", "", "emit a named suite circuit (c3540..s38584); empty = parameterized")
+	cells := flag.Int("cells", 500, "CLB count for parameterized mapped circuits")
+	gates := flag.Int("gates", 2000, "gate count for -gate netlists")
+	pi := flag.Int("pi", 30, "primary inputs")
+	po := flag.Int("po", 20, "primary outputs")
+	dff := flag.Int("dff", 0, "flip-flop count (mapped) or 0")
+	dffFrac := flag.Float64("dfffrac", 0.1, "flip-flop fraction for -gate netlists")
+	clustering := flag.Float64("clustering", 0.5, "locality knob in [0,1)")
+	seed := flag.Int64("seed", 1, "random seed")
+	gate := flag.Bool("gate", false, "emit a gate-level netlist instead of a mapped circuit")
+	list := flag.Bool("list", false, "list suite circuits and exit")
+	flag.Parse()
+
+	if err := run(*suite, *cells, *gates, *pi, *po, *dff, *dffFrac, *clustering, *seed, *gate, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(suite string, cells, gates, pi, po, dff int, dffFrac, clustering float64, seed int64, gate, list bool) error {
+	if list {
+		for _, c := range bench.Suite() {
+			fmt.Printf("%-8s %5d CLBs  %4d IOBs  %5d DFF\n", c.Name, c.CLBs, c.IOBs, c.DFF)
+		}
+		return nil
+	}
+	if gate {
+		n, err := netlist.Random(netlist.RandomParams{
+			Gates: gates, Inputs: pi, Outputs: po, DffFrac: dffFrac, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		return netlist.Write(os.Stdout, n)
+	}
+	var g *hypergraph.Graph
+	var err error
+	if suite != "" {
+		c, ok := bench.ByName(suite)
+		if !ok {
+			return fmt.Errorf("unknown suite circuit %q (try -list)", suite)
+		}
+		g, err = c.Build()
+	} else {
+		g, err = bench.Generate(bench.Params{
+			Cells: cells, PrimaryIn: pi, PrimaryOut: po, DFFs: dff,
+			Clustering: clustering, Seed: seed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	return hypergraph.Write(os.Stdout, g)
+}

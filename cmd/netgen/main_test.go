@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<22)
+	total := 0
+	for {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil || n == 0 || total == len(buf) {
+			break
+		}
+	}
+	return string(buf[:total]), ferr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", 0, 0, 0, 0, 0, 0, 0, 1, false, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"c3540", "s38584", "CLBs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuiteCircuit(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("c3540", 0, 0, 0, 0, 0, 0, 0, 1, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "circuit c3540") || !strings.Contains(out, "cell ") {
+		t.Fatalf("bad .clb output:\n%.200s", out)
+	}
+}
+
+func TestUnknownSuite(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("nonesuch", 0, 0, 0, 0, 0, 0, 0, 1, false, false)
+	}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParameterized(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", 80, 0, 10, 5, 10, 0, 0.5, 2, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "circuit synth2") {
+		t.Fatalf("bad output:\n%.200s", out)
+	}
+}
+
+func TestGateNetlist(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", 0, 120, 10, 5, 0, 0.1, 0, 3, true, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "circuit rand3") || !strings.Contains(out, "input ") {
+		t.Fatalf("bad .gnl output:\n%.200s", out)
+	}
+}

@@ -1,0 +1,90 @@
+// Command netstat prints Table II-style characteristics of circuits:
+// CLBs, IOBs, flip-flops, nets, pins and the Fig. 3 distribution of
+// cells over replication potential.
+//
+// Usage:
+//
+//	netstat circuit.clb [more.clb ...]
+//	netstat -gate circuit.gnl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/netlist"
+	"fpgapart/internal/report"
+	"fpgapart/internal/techmap"
+)
+
+func main() {
+	gate := flag.Bool("gate", false, "inputs are gate-level netlists; map before reporting")
+	dist := flag.Bool("dist", false, "also print the ψ distribution per circuit")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: netstat [-gate] [-dist] <circuit>...")
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), *gate, *dist); err != nil {
+		fmt.Fprintln(os.Stderr, "netstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string, gate, dist bool) error {
+	t := report.NewTable("Circuit characteristics",
+		"Circuit", "#CLBs", "#IOBs", "#DFF", "#NETs", "#PINs", "repl.cells(T=1)")
+	var graphs []*hypergraph.Graph
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		var g *hypergraph.Graph
+		if gate {
+			n, rerr := netlist.Read(f)
+			if rerr == nil {
+				if d, derr := n.Depth(); derr == nil {
+					fmt.Printf("%s: gate depth %d\n", n.Name, d)
+				}
+				var m *techmap.Mapped
+				m, rerr = techmap.Map(n, techmap.Options{})
+				if rerr == nil {
+					if d, derr := m.Depth(); derr == nil {
+						fmt.Printf("%s: LUT depth %d\n", n.Name, d)
+					}
+					g = m.Graph
+				}
+			}
+			err = rerr
+		} else {
+			g, err = hypergraph.Read(f)
+		}
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		graphs = append(graphs, g)
+		t.Row(g.Name, g.TotalArea(), g.NumTerminals(), g.NumDFF(), g.NumNets(), g.NumPins(),
+			g.ReplicableCells(1))
+	}
+	t.Render(os.Stdout)
+	if dist {
+		for _, g := range graphs {
+			d := g.Distribution()
+			bars := report.NewBars(fmt.Sprintf("ψ distribution of %s (%d cells)", g.Name, d.Total))
+			pct := func(n int) float64 { return 100 * float64(n) / float64(d.Total) }
+			bars.Bar("ψ=0 ", pct(d.SingleOutput), fmt.Sprintf("%.1f%% single-output", pct(d.SingleOutput)))
+			bars.Bar("ψ=0*", pct(d.MultiZero), fmt.Sprintf("%.1f%% multi-output, ψ=0", pct(d.MultiZero)))
+			for psi := 1; psi <= 5; psi++ {
+				if n := d.ByPsi[psi]; n > 0 {
+					bars.Bar(fmt.Sprintf("ψ=%d ", psi), pct(n), fmt.Sprintf("%.1f%%", pct(n)))
+				}
+			}
+			bars.Render(os.Stdout)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/hypergraph"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), ferr
+}
+
+func TestNetstat(t *testing.T) {
+	g, err := bench.Generate(bench.Params{Cells: 100, PrimaryIn: 10, PrimaryOut: 5, Seed: 1, Clustering: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.clb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hypergraph.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out, err := capture(t, func() error { return run([]string{path}, false, true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"#CLBs", "ψ distribution", "single-output"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNetstatMissingFile(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"/nope.clb"}, false, false) }); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNetstatGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.gnl")
+	src := "circuit c\ninput a b\noutput y\nand y a b\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{path}, true, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "| c ") {
+		t.Fatalf("missing circuit row:\n%s", out)
+	}
+}

@@ -1,0 +1,121 @@
+// Gains walks through Section II–III of the paper on concrete cells:
+// replication potential ψ from adjacency vectors (Figs. 1–2) and the
+// unified gain model comparing a single move, traditional replication
+// and functional replication (Fig. 4's scenario).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/replication"
+)
+
+func main() {
+	potentials()
+	gains()
+}
+
+// potentials reproduces Figs. 1 and 2: ψ counts the inputs adjacent to
+// exactly one output.
+func potentials() {
+	fmt.Println("== Replication potential (Eq. 4) ==")
+	b := hypergraph.NewBuilder("fig12")
+	a := b.InputNet("a")
+	bb := b.InputNet("b")
+	c := b.InputNet("c")
+	x := b.OutputNet("X")
+	y := b.OutputNet("Y")
+	m := b.AddCell(hypergraph.CellSpec{
+		Name: "M(fig1)", Inputs: []hypergraph.NetID{a, bb, c},
+		Outputs: []hypergraph.NetID{x, y},
+		DepBits: [][]int{{1, 1, 0}, {0, 1, 1}},
+	})
+	in := make([]hypergraph.NetID, 5)
+	for i := range in {
+		in[i] = b.InputNet(fmt.Sprintf("a%d", i+1))
+	}
+	x1 := b.OutputNet("X1")
+	x2 := b.OutputNet("X2")
+	f := b.AddCell(hypergraph.CellSpec{
+		Name: "F(fig2)", Inputs: in,
+		Outputs: []hypergraph.NetID{x1, x2},
+		DepBits: [][]int{{1, 1, 1, 1, 0}, {0, 0, 0, 1, 1}},
+	})
+	g := b.MustBuild()
+	for _, id := range []hypergraph.CellID{m, f} {
+		cell := g.Cell(id)
+		fmt.Printf("cell %s:\n", cell.Name)
+		for i := range cell.Outputs {
+			fmt.Printf("  A_X%d = %v\n", i+1, cell.Dep[i])
+		}
+		fmt.Printf("  ψ = %d\n", cell.ReplicationPotential())
+	}
+	fmt.Println()
+}
+
+// gains builds the Fig. 4-style scenario of the test suite — cell M on
+// the cut boundary — and evaluates all three options.
+func gains() {
+	fmt.Println("== Unified gain model (Eqs. 7-11) ==")
+	b := hypergraph.NewBuilder("fig4")
+	pi := b.InputNet("pi")
+	mk := func(name string) hypergraph.NetID { return b.Net(name) }
+	a, bn, c, d, e := mk("a"), mk("b"), mk("c"), mk("d"), mk("e")
+	x1, x2 := mk("x1"), mk("x2")
+	po := make([]hypergraph.NetID, 6)
+	for i := range po {
+		po[i] = b.OutputNet(fmt.Sprintf("po%d", i))
+	}
+	single := func(name string, in, out hypergraph.NetID) hypergraph.CellID {
+		return b.AddCell(hypergraph.CellSpec{Name: name,
+			Inputs: []hypergraph.NetID{in}, Outputs: []hypergraph.NetID{out}})
+	}
+	single("DA", pi, a)
+	single("DB", pi, bn)
+	dc := single("DC", pi, c)
+	dd := single("DD", pi, d)
+	de := single("DE", pi, e)
+	m := b.AddCell(hypergraph.CellSpec{
+		Name:    "M",
+		Inputs:  []hypergraph.NetID{a, bn, c, d, e},
+		Outputs: []hypergraph.NetID{x1, x2},
+		DepBits: [][]int{{1, 1, 1, 0, 0}, {0, 0, 0, 1, 1}},
+	})
+	single("SC", c, po[0])
+	single("S1", x1, po[1])
+	single("SX2A", x2, po[2])
+	sx2b := single("SX2B", x2, po[3])
+	single("F1", pi, po[4])
+	single("F2", pi, po[5])
+	g := b.MustBuild()
+
+	assign := make([]replication.Block, g.NumCells())
+	for _, id := range []hypergraph.CellID{dc, dd, de, sx2b} {
+		assign[id] = 1
+	}
+	st, err := replication.NewState(g, assign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial cut set size: %d\n", st.CutSize())
+	v, err := st.Vectors(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cell M vectors:  C^I=%v  Q^I=%v  C^O=%v  Q^O=%v\n", v.CI, v.QI, v.CO, v.QO)
+
+	gm, _ := st.GainMoveFormula(m)
+	gtr, _ := st.GainTraditionalFormula(m)
+	gfn, carry, _, _ := st.GainFunctionalBest(m)
+	fmt.Printf("single move         (Eq. 7):  gain %+d\n", gm)
+	fmt.Printf("traditional replication (Eq. 8):  gain %+d\n", gtr)
+	fmt.Printf("functional replication (Eq. 9-11): gain %+d, replica carries output mask %b\n", gfn, carry)
+
+	if _, err := st.Apply(replication.Move{Cell: m, Kind: replication.Replicate, Carry: carry}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after functional replication: cut set size %d, replicated cells %d\n",
+		st.CutSize(), st.ReplicatedCount())
+}

@@ -1,0 +1,3 @@
+module fpgapart
+
+go 1.22

@@ -1,0 +1,133 @@
+// Package anneal implements a simulated-annealing bipartitioner over
+// the same replication.State move universe as the FM engine — an
+// independent metaheuristic baseline for cross-checking the paper's
+// deterministic heuristic (the classic FM-vs-annealing comparison of
+// the partitioning literature). It is not part of the paper's method;
+// the repository uses it in ablation benchmarks only.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/replication"
+)
+
+// Config controls one annealing run.
+type Config struct {
+	MinArea [2]int
+	MaxArea [2]int
+	// Threshold is the replication potential threshold T; NoReplication
+	// (-1) restricts the move universe to single moves.
+	Threshold int
+	// InitialTemp is the starting temperature in cut units (default 8).
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per sweep (default 0.95).
+	Cooling float64
+	// Sweeps caps the number of temperature steps (default 120).
+	Sweeps int
+	// MovesPerSweep defaults to 4× the cell count.
+	MovesPerSweep int
+	Seed          int64
+}
+
+// NoReplication disables replication moves.
+const NoReplication = -1
+
+func (c Config) withDefaults(cells int) Config {
+	if c.InitialTemp == 0 {
+		c.InitialTemp = 8
+	}
+	if c.Cooling == 0 {
+		c.Cooling = 0.95
+	}
+	if c.Sweeps == 0 {
+		c.Sweeps = 120
+	}
+	if c.MovesPerSweep == 0 {
+		c.MovesPerSweep = 4 * cells
+	}
+	return c
+}
+
+// Result summarizes a run.
+type Result struct {
+	Cut      int
+	Accepted int
+	Proposed int
+}
+
+// Run anneals the state in place: random moves from the unified move
+// universe are accepted per the Metropolis criterion on the cut gain,
+// subject to the area bounds. The best visited configuration is
+// restored at the end.
+func Run(st *replication.State, cfg Config) (Result, error) {
+	g := st.Graph()
+	cfg = cfg.withDefaults(g.NumCells())
+	if cfg.MaxArea[0] <= 0 || cfg.MaxArea[1] <= 0 {
+		return Result{}, fmt.Errorf("anneal: MaxArea must be positive, got %v", cfg.MaxArea)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	res := Result{}
+	bestCut := st.CutSize()
+	bestTok := st.Mark()
+	temp := cfg.InitialTemp
+	for sweep := 0; sweep < cfg.Sweeps; sweep++ {
+		for m := 0; m < cfg.MovesPerSweep; m++ {
+			mv := randomMove(r, st, cfg.Threshold)
+			gain, err := st.Gain(mv)
+			if err != nil {
+				continue
+			}
+			if !feasible(st, cfg, mv) {
+				continue
+			}
+			res.Proposed++
+			if gain < 0 && r.Float64() >= math.Exp(float64(gain)/temp) {
+				continue
+			}
+			if _, err := st.Apply(mv); err != nil {
+				return res, err
+			}
+			res.Accepted++
+			if cut := st.CutSize(); cut < bestCut {
+				bestCut = cut
+				bestTok = st.Mark()
+			}
+		}
+		temp *= cfg.Cooling
+		if temp < 0.05 {
+			break
+		}
+	}
+	if err := st.Undo(bestTok); err != nil {
+		return res, err
+	}
+	res.Cut = st.CutSize()
+	return res, nil
+}
+
+func feasible(st *replication.State, cfg Config, mv replication.Move) bool {
+	d0, d1, err := st.AreaDelta(mv)
+	if err != nil {
+		return false
+	}
+	a0 := st.Area(0) + d0
+	a1 := st.Area(1) + d1
+	return a0 >= cfg.MinArea[0] && a0 <= cfg.MaxArea[0] &&
+		a1 >= cfg.MinArea[1] && a1 <= cfg.MaxArea[1]
+}
+
+func randomMove(r *rand.Rand, st *replication.State, threshold int) replication.Move {
+	c := hypergraph.CellID(r.Intn(st.Graph().NumCells()))
+	if st.IsReplicated(c) {
+		return replication.Move{Cell: c, Kind: replication.Unreplicate, To: replication.Block(r.Intn(2))}
+	}
+	if threshold != NoReplication && st.CanReplicate(c, threshold) && r.Intn(3) == 0 {
+		splits := st.Splits(c)
+		return replication.Move{Cell: c, Kind: replication.Replicate, Carry: splits[r.Intn(len(splits))]}
+	}
+	return replication.Move{Cell: c, Kind: replication.SingleMove}
+}

@@ -1,0 +1,134 @@
+package anneal
+
+import (
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/fm"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/replication"
+)
+
+func testGraph(t testing.TB, cells int, seed int64) *hypergraph.Graph {
+	t.Helper()
+	g, err := bench.Generate(bench.Params{
+		Name: "sa", Cells: cells, PrimaryIn: 10, PrimaryOut: 6,
+		Seed: seed, Clustering: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunImprovesCut(t *testing.T) {
+	g := testGraph(t, 150, 1)
+	minA, maxA := fm.Balance(g.TotalArea(), 0.10)
+	st, err := replication.NewState(g, fm.RandomAssign(g, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.CutSize()
+	res, err := Run(st, Config{MinArea: minA, MaxArea: maxA, Threshold: NoReplication, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut > before {
+		t.Fatalf("annealing worsened cut: %d -> %d", before, res.Cut)
+	}
+	if res.Cut != st.CutSize() {
+		t.Fatal("result/state cut mismatch")
+	}
+	if res.Accepted == 0 || res.Proposed == 0 {
+		t.Fatalf("no moves: %+v", res)
+	}
+	for b := replication.Block(0); b < 2; b++ {
+		if a := st.Area(b); a < minA[b] || a > maxA[b] {
+			t.Fatalf("block %d area %d outside bounds", b, a)
+		}
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithReplication(t *testing.T) {
+	g := testGraph(t, 150, 2)
+	minA, maxA := fm.Balance(g.TotalArea(), 0.10)
+	maxA = [2]int{maxA[0] * 11 / 10, maxA[1] * 11 / 10}
+	st, err := replication.NewState(g, fm.RandomAssign(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(st, Config{MinArea: minA, MaxArea: maxA, Threshold: 0, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Replication eligibility must be respected.
+	for ci := 0; ci < g.NumCells(); ci++ {
+		c := hypergraph.CellID(ci)
+		if st.IsReplicated(c) && !st.CanReplicate(c, 0) {
+			t.Fatalf("ineligible cell %d replicated", ci)
+		}
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	g := testGraph(t, 30, 3)
+	st, _ := replication.NewState(g, fm.RandomAssign(g, 3))
+	if _, err := Run(st, Config{}); err == nil {
+		t.Fatal("zero MaxArea should fail")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := testGraph(t, 100, 4)
+	minA, maxA := fm.Balance(g.TotalArea(), 0.10)
+	run := func() int {
+		st, _ := replication.NewState(g, fm.RandomAssign(g, 4))
+		res, err := Run(st, Config{MinArea: minA, MaxArea: maxA, Threshold: 0, Seed: 9, Sweeps: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cut
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+// FM converges to cuts at least as good as a time-boxed annealer on
+// these structured circuits (the classic observation motivating FM's
+// dominance in partitioning practice). Compared in aggregate.
+func TestFMBeatsAnnealingAggregate(t *testing.T) {
+	var fmSum, saSum int
+	for seed := int64(0); seed < 3; seed++ {
+		g := testGraph(t, 200, 10+seed)
+		minA, maxA := fm.Balance(g.TotalArea(), 0.10)
+
+		stFM, err := replication.NewState(g, fm.RandomAssign(g, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resFM, err := fm.Run(stFM, fm.Config{MinArea: minA, MaxArea: maxA, Threshold: fm.NoReplication, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stSA, err := replication.NewState(g, fm.RandomAssign(g, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resSA, err := Run(stSA, Config{MinArea: minA, MaxArea: maxA, Threshold: NoReplication, Seed: seed, Sweeps: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmSum += resFM.Cut
+		saSum += resSA.Cut
+	}
+	t.Logf("aggregate cut: FM=%d annealing=%d", fmSum, saSum)
+	if fmSum > saSum*3/2 {
+		t.Fatalf("FM dramatically worse than annealing: %d vs %d", fmSum, saSum)
+	}
+}

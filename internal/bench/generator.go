@@ -1,0 +1,486 @@
+// Package bench provides deterministic synthetic benchmark circuits.
+//
+// The paper evaluates on the MCNC Partitioning93 set (ISCAS-85/89
+// circuits technology-mapped into the Xilinx XC3000 family with XACT).
+// Those mapped netlists are not available offline, so this package
+// generates substitutes that reproduce the published post-mapping
+// characteristics (Table II: #CLBs, #IOBs, #DFF, #NETs, #PINs) and the
+// Fig. 3 distribution of cells over replication potential, with a
+// clustering knob making the sequential s-circuits more clustered than
+// the combinational c-circuits. See DESIGN.md §3 for the substitution
+// rationale.
+//
+// Generation mirrors real technology mapping in two stages. Stage 1
+// emits a stream of single-output LUTs with windowed locality (real
+// netlists have bounded bisection width) plus occasional "twin" LUTs
+// sharing all inputs (sum/carry style, the ψ=0* population). Stage 2
+// packs LUT pairs into two-output CLBs under the XC3000 constraint of
+// at most five distinct inputs — mostly nearby partners, but a
+// fraction of distant ones, reproducing the packing artifacts that
+// make functional replication profitable on real mapped circuits.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fpgapart/internal/hypergraph"
+)
+
+// Params controls synthetic mapped-circuit generation.
+type Params struct {
+	Name       string
+	Cells      int // CLB target (each cell has area 1); actual may differ by a few
+	PrimaryIn  int
+	PrimaryOut int // lower bound; dangling nets are promoted to POs
+	DFFs       int // flip-flops to distribute over cells (≤2 per CLB)
+	Seed       int64
+
+	// Clustering in [0,1): larger values shrink the locality window,
+	// producing the tightly clustered structure the paper observes in
+	// the sequential benchmarks.
+	Clustering float64
+
+	// TwoOutputFrac is the fraction of two-output CLBs (Fig. 3 shows
+	// ~85% of mapped cells are multi-output). Default 0.85.
+	TwoOutputFrac float64
+	// PsiZeroFrac is the fraction of CLBs holding twin LUTs that share
+	// every input (ψ = 0, the "0*" bin). Default 0.10.
+	PsiZeroFrac float64
+	// DistantPackFrac is the fraction of packed CLBs whose two LUTs
+	// come from unrelated regions of the netlist (area-driven packing
+	// leftovers). Default 0.08.
+	DistantPackFrac float64
+	// MaxInputs caps distinct CLB inputs (XC3000: 5). Default 5.
+	MaxInputs int
+}
+
+func (p Params) withDefaults() Params {
+	if p.TwoOutputFrac == 0 {
+		p.TwoOutputFrac = 0.85
+	}
+	if p.PsiZeroFrac == 0 {
+		p.PsiZeroFrac = 0.10
+	}
+	if p.DistantPackFrac == 0 {
+		p.DistantPackFrac = 0.08
+	}
+	if p.MaxInputs == 0 {
+		p.MaxInputs = 5
+	}
+	if p.Name == "" {
+		p.Name = fmt.Sprintf("synth%d", p.Seed)
+	}
+	return p
+}
+
+// lut is one stage-1 logical function.
+type lut struct {
+	inputs []hypergraph.NetID
+	out    hypergraph.NetID
+	twin   int // index of the twin sharing all inputs, or -1
+}
+
+// Generate builds a valid mapped-circuit hypergraph from the
+// parameters. The same Params always produce the same circuit.
+func Generate(p Params) (*hypergraph.Graph, error) {
+	p = p.withDefaults()
+	if p.Cells < 1 || p.PrimaryIn < 1 {
+		return nil, fmt.Errorf("bench: need at least 1 cell and 1 primary input (got %d, %d)", p.Cells, p.PrimaryIn)
+	}
+	if p.MaxInputs < 2 {
+		return nil, fmt.Errorf("bench: MaxInputs must be ≥ 2, got %d", p.MaxInputs)
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	b := hypergraph.NewBuilder(p.Name)
+
+	// CLB plan: twins (ψ=0 pairs), packed pairs, singles.
+	twinCLBs := int(p.PsiZeroFrac*float64(p.Cells) + 0.5)
+	packedCLBs := int((p.TwoOutputFrac-p.PsiZeroFrac)*float64(p.Cells) + 0.5)
+	if packedCLBs < 0 {
+		packedCLBs = 0
+	}
+	singleCLBs := p.Cells - twinCLBs - packedCLBs
+	if singleCLBs < 0 {
+		singleCLBs = 0
+	}
+	nLUTs := 2*twinCLBs + 2*packedCLBs + singleCLBs
+
+	// Primary inputs appear in bus-sized bursts at positions spread
+	// over the LUT sequence: real circuits group inputs into buses
+	// feeding localized cones, so a min-cut carve can swallow a whole
+	// bus with a small cut.
+	pis := make([]hypergraph.NetID, p.PrimaryIn)
+	piDue := make([]int, p.PrimaryIn)
+	for i := 0; i < p.PrimaryIn; i++ {
+		pis[i] = b.InputNet(fmt.Sprintf("pi%d", i))
+	}
+	for i, busStart := 0, true; i < p.PrimaryIn; {
+		size := 8 + r.Intn(17)
+		if size > p.PrimaryIn-i {
+			size = p.PrimaryIn - i
+		}
+		pos := 0
+		if !busStart {
+			pos = r.Intn(int(0.92*float64(nLUTs)) + 1)
+		}
+		for j := 0; j < size; j++ {
+			piDue[i] = pos
+			i++
+		}
+		busStart = false
+	}
+	sort.Ints(piDue)
+
+	// ---- Stage 1: the logical LUT stream -------------------------------
+
+	nextPI := 0
+	avail := make([]hypergraph.NetID, 0, p.PrimaryIn+nLUTs)
+	var unconsumed []hypergraph.NetID
+	consumed := make(map[hypergraph.NetID]bool)
+
+	pickNet := func(taken map[hypergraph.NetID]bool) hypergraph.NetID {
+		for attempt := 0; attempt < 64; attempt++ {
+			var n hypergraph.NetID
+			prefer := 0.40
+			if len(unconsumed) > p.PrimaryOut {
+				prefer = 0.90
+			}
+			if len(unconsumed) > 0 && r.Float64() < prefer {
+				idx := biasedIndex(r, len(unconsumed), p.Clustering)
+				n = unconsumed[idx]
+				if consumed[n] {
+					unconsumed[idx] = unconsumed[len(unconsumed)-1]
+					unconsumed = unconsumed[:len(unconsumed)-1]
+					attempt--
+					continue
+				}
+			} else {
+				n = avail[biasedIndex(r, len(avail), p.Clustering)]
+			}
+			if !taken[n] {
+				return n
+			}
+		}
+		for i := len(avail) - 1; i >= 0; i-- {
+			if !taken[avail[i]] {
+				return avail[i]
+			}
+		}
+		return avail[0]
+	}
+
+	type pending struct {
+		net hypergraph.NetID
+		at  int
+	}
+	var piWait []pending
+	stale := nLUTs / 20
+	if stale < 5 {
+		stale = 5
+	}
+
+	luts := make([]lut, 0, nLUTs)
+	twinsLeft := twinCLBs
+	for li := 0; li < nLUTs; li++ {
+		for nextPI < p.PrimaryIn && piDue[nextPI] <= li {
+			avail = append(avail, pis[nextPI])
+			unconsumed = append(unconsumed, pis[nextPI])
+			piWait = append(piWait, pending{pis[nextPI], li})
+			nextPI++
+		}
+		for len(piWait) > 0 && consumed[piWait[0].net] {
+			piWait = piWait[1:]
+		}
+		// LUT fan-in 2–4 (two 4-input functions share the CLB's five
+		// distinct inputs on the real part).
+		nIn := 2
+		switch v := r.Float64(); {
+		case v < 0.45:
+			nIn = 2
+		case v < 0.90:
+			nIn = 3
+		default:
+			nIn = 4
+		}
+		if nIn > len(avail) {
+			nIn = len(avail)
+		}
+		taken := make(map[hypergraph.NetID]bool, nIn)
+		inputs := make([]hypergraph.NetID, nIn)
+		force := 0
+		if need := len(piWait) - (nLUTs - li - 1); need > force {
+			force = need
+		}
+		if force == 0 && len(piWait) > 0 && li-piWait[0].at > stale {
+			force = 1
+		}
+		if force > nIn {
+			force = nIn
+		}
+		for j := 0; j < force; j++ {
+			n := piWait[j].net
+			taken[n] = true
+			inputs[j] = n
+			consumed[n] = true
+		}
+		piWait = piWait[force:]
+		for j := force; j < nIn; j++ {
+			n := pickNet(taken)
+			taken[n] = true
+			inputs[j] = n
+			consumed[n] = true
+		}
+		out := b.Net(fmt.Sprintf("w%d", li))
+		cur := lut{inputs: inputs, out: out, twin: -1}
+		avail = append(avail, out)
+		unconsumed = appendUnconsumed(unconsumed, consumed, out)
+
+		// Emit a twin (shared inputs, second output) when the plan
+		// still needs ψ=0 pairs.
+		slotsLeft := nLUTs - li - 1
+		if twinsLeft > 0 && slotsLeft >= 1 &&
+			(r.Float64() < float64(2*twinsLeft)/float64(slotsLeft+1) || slotsLeft <= 2*twinsLeft) {
+			li++
+			tout := b.Net(fmt.Sprintf("w%d", li))
+			cur.twin = len(luts) + 1
+			luts = append(luts, cur)
+			luts = append(luts, lut{inputs: inputs, out: tout, twin: len(luts) - 1})
+			avail = append(avail, tout)
+			unconsumed = appendUnconsumed(unconsumed, consumed, tout)
+			twinsLeft--
+			continue
+		}
+		luts = append(luts, cur)
+	}
+
+	// ---- Stage 2: CLB packing ------------------------------------------
+
+	type clb struct{ members []int }
+	var clbs []clb
+	used := make([]bool, len(luts))
+	// Twins pack with each other by construction.
+	for i := range luts {
+		if luts[i].twin >= 0 && !used[i] {
+			used[i], used[luts[i].twin] = true, true
+			clbs = append(clbs, clb{members: []int{i, luts[i].twin}})
+		}
+	}
+	unionSize := func(a, b []hypergraph.NetID) int {
+		m := make(map[hypergraph.NetID]bool, len(a)+len(b))
+		for _, n := range a {
+			m[n] = true
+		}
+		for _, n := range b {
+			m[n] = true
+		}
+		return len(m)
+	}
+	shared := func(a, b []hypergraph.NetID) int {
+		m := make(map[hypergraph.NetID]bool, len(a))
+		for _, n := range a {
+			m[n] = true
+		}
+		k := 0
+		for _, n := range b {
+			if m[n] {
+				k++
+			}
+		}
+		return k
+	}
+	// canPack rejects pairs that would make a CLB consume its own
+	// output (no combinational feedback through a mapped cell).
+	canPack := func(i, j int) bool {
+		if unionSize(luts[i].inputs, luts[j].inputs) > p.MaxInputs {
+			return false
+		}
+		for _, n := range luts[j].inputs {
+			if n == luts[i].out {
+				return false
+			}
+		}
+		for _, n := range luts[i].inputs {
+			if n == luts[j].out {
+				return false
+			}
+		}
+		return true
+	}
+	var free []int
+	for i := range luts {
+		if !used[i] {
+			free = append(free, i)
+		}
+	}
+	pairsLeft := packedCLBs
+	for fi := 0; fi < len(free); fi++ {
+		i := free[fi]
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		if pairsLeft <= 0 {
+			clbs = append(clbs, clb{members: []int{i}})
+			continue
+		}
+		// Find a partner: mostly nearby (same region), sometimes a
+		// distant leftover — the packing artifact functional
+		// replication untangles.
+		distant := r.Float64() < p.DistantPackFrac
+		partner := -1
+		for try := 0; try < 16; try++ {
+			if try >= 8 && partner >= 0 {
+				break // enough candidates scanned for a sharing partner
+			}
+			var cj int
+			if distant {
+				// Distant, but within a bounded region (real packers
+				// work region-locally): 40–400 free-list positions
+				// ahead, so the per-boundary count of straddling CLBs
+				// does not grow with circuit size.
+				off := 40 + r.Intn(360)
+				if fi+1+off >= len(free) {
+					off = r.Intn(len(free) - fi)
+				}
+				cj = free[fi+off]
+			} else {
+				span := 14
+				if fi+1+span > len(free) {
+					span = len(free) - fi - 1
+				}
+				if span <= 0 {
+					break
+				}
+				cj = free[fi+1+r.Intn(span)]
+			}
+			if used[cj] || cj == i || !canPack(i, cj) {
+				continue
+			}
+			// Real packers maximize input sharing to fit the CLB's
+			// five distinct inputs; prefer the partner with the most
+			// shared nets among a few candidates.
+			if partner < 0 || shared(luts[i].inputs, luts[cj].inputs) > shared(luts[i].inputs, luts[partner].inputs) {
+				partner = cj
+			}
+			if try < 8 {
+				continue // keep scanning for a better-sharing partner
+			}
+		}
+		if partner >= 0 {
+			used[partner] = true
+			clbs = append(clbs, clb{members: []int{i, partner}})
+			pairsLeft--
+		} else {
+			clbs = append(clbs, clb{members: []int{i}})
+		}
+	}
+
+	// ---- Emit cells ------------------------------------------------------
+
+	dffLeft := p.DFFs
+	for ci, c := range clbs {
+		var inputs []hypergraph.NetID
+		pos := make(map[hypergraph.NetID]int)
+		for _, li := range c.members {
+			for _, n := range luts[li].inputs {
+				if _, ok := pos[n]; !ok {
+					pos[n] = len(inputs)
+					inputs = append(inputs, n)
+				}
+			}
+		}
+		outputs := make([]hypergraph.NetID, len(c.members))
+		dep := make([][]int, len(c.members))
+		for oi, li := range c.members {
+			outputs[oi] = luts[li].out
+			row := make([]int, len(inputs))
+			for _, n := range luts[li].inputs {
+				row[pos[n]] = 1
+			}
+			dep[oi] = row
+		}
+		dffs := 0
+		if dffLeft > 0 {
+			want := float64(dffLeft) / float64(len(clbs)-ci)
+			if r.Float64() < want {
+				dffs = 1
+				if want > 1 && dffLeft > 1 && r.Float64() < want-1 {
+					dffs = 2
+				}
+			}
+			if dffs > dffLeft {
+				dffs = dffLeft
+			}
+			dffLeft -= dffs
+		}
+		b.AddCell(hypergraph.CellSpec{
+			Name:    fmt.Sprintf("u%d", ci),
+			Inputs:  inputs,
+			Outputs: outputs,
+			DepBits: dep,
+			DFFs:    dffs,
+		})
+	}
+
+	// Promote dangling nets to primary outputs, then top up to the
+	// requested PO count with random driven nets. Primary-input nets
+	// are excluded in both passes (PIs are force-consumed above).
+	isPI := make(map[hypergraph.NetID]bool, len(pis))
+	for _, n := range pis {
+		isPI[n] = true
+	}
+	poCount := 0
+	for _, n := range unconsumed {
+		if !consumed[n] && !isPI[n] {
+			b.MarkOutput(n)
+			poCount++
+		}
+	}
+	for tries := 0; poCount < p.PrimaryOut && tries < 64*p.PrimaryOut; tries++ {
+		n := avail[r.Intn(len(avail))]
+		if isPI[n] {
+			continue
+		}
+		b.MarkOutput(n)
+		poCount++
+	}
+	return b.Build()
+}
+
+// appendUnconsumed keeps the unconsumed pool compact by dropping
+// already-consumed entries opportunistically.
+func appendUnconsumed(pool []hypergraph.NetID, consumed map[hypergraph.NetID]bool, add ...hypergraph.NetID) []hypergraph.NetID {
+	if len(pool) > 64 {
+		w := 0
+		for _, n := range pool {
+			if !consumed[n] {
+				pool[w] = n
+				w++
+			}
+		}
+		pool = pool[:w]
+	}
+	return append(pool, add...)
+}
+
+// biasedIndex picks an index in [0,n): uniform when clustering is 0;
+// otherwise exponentially windowed from the tail (recent nets), the
+// window shrinking as clustering → 1. Real mapped netlists have
+// bounded bisection width; the exponential tail adds the occasional
+// long-range net.
+func biasedIndex(r *rand.Rand, n int, clustering float64) int {
+	if n == 1 {
+		return 0
+	}
+	if clustering <= 0 {
+		return r.Intn(n)
+	}
+	window := 8 + (1-clustering)*50
+	off := int(r.ExpFloat64() * window)
+	if off >= n {
+		return r.Intn(n)
+	}
+	return n - 1 - off
+}

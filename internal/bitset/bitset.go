@@ -1,0 +1,205 @@
+// Package bitset provides fixed-width dense bit vectors used to
+// represent the adjacency, cutset-adjacency and critical-net vectors of
+// the functional-replication gain model (Kužnar et al., DAC'94,
+// Sections II–III). The three operations the paper performs on these
+// vectors — complementation, logical AND and the norm |·| (population
+// count) — are provided directly.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length bit vector. The zero value is an empty
+// vector of length 0; use New to create one of a given length.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed vector of n bits.
+func New(n int) Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative length %d", n))
+	}
+	return Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromBools builds a vector from a slice of booleans; bit i is set when
+// b[i] is true.
+func FromBools(b []bool) Vector {
+	v := New(len(b))
+	for i, x := range b {
+		if x {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// FromBits builds a vector from 0/1 integers, convenient for writing
+// the paper's column vectors such as A_X = [1 1 0]^T as FromBits(1,1,0).
+func FromBits(bits ...int) Vector {
+	v := New(len(bits))
+	for i, x := range bits {
+		switch x {
+		case 0:
+		case 1:
+			v.Set(i)
+		default:
+			panic(fmt.Sprintf("bitset: FromBits element %d is %d, want 0 or 1", i, x))
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v Vector) Len() int { return v.n }
+
+// Get reports whether bit i is set.
+func (v Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Set sets bit i.
+func (v Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i.
+func (v Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// SetBool assigns bit i.
+func (v Vector) SetBool(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+func (v Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+func (v Vector) sameLen(w Vector) {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitset: length mismatch %d vs %d", v.n, w.n))
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// Not returns the bitwise complement of v (the paper's Ā operation).
+// Bits beyond Len are kept zero.
+func (v Vector) Not() Vector {
+	w := v.Clone()
+	for i := range w.words {
+		w.words[i] = ^w.words[i]
+	}
+	w.trim()
+	return w
+}
+
+// And returns the bitwise AND of v and w (the paper's product vector).
+func (v Vector) And(w Vector) Vector {
+	v.sameLen(w)
+	out := v.Clone()
+	for i := range out.words {
+		out.words[i] &= w.words[i]
+	}
+	return out
+}
+
+// AndNot returns v AND (NOT w), a common compound in the gain formulas.
+func (v Vector) AndNot(w Vector) Vector {
+	v.sameLen(w)
+	out := v.Clone()
+	for i := range out.words {
+		out.words[i] &^= w.words[i]
+	}
+	return out
+}
+
+// Or returns the bitwise OR of v and w.
+func (v Vector) Or(w Vector) Vector {
+	v.sameLen(w)
+	out := v.Clone()
+	for i := range out.words {
+		out.words[i] |= w.words[i]
+	}
+	return out
+}
+
+// Norm returns |v|, the number of set bits (the paper's norm).
+func (v Vector) Norm() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (v Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether v and w have identical length and bits.
+func (v Vector) Equal(w Vector) bool {
+	if v.n != w.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != w.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// trim clears any bits at positions >= n left over from complementation.
+func (v *Vector) trim() {
+	if r := v.n % wordBits; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// String renders the vector as the paper writes them, e.g. "[1 1 0]^T".
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < v.n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	sb.WriteString("]^T")
+	return sb.String()
+}

@@ -1,0 +1,215 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	for i := 0; i < 130; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+	}
+	if v.Any() {
+		t.Fatal("Any() true for zero vector")
+	}
+	if v.Norm() != 0 {
+		t.Fatalf("Norm = %d, want 0", v.Norm())
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(100)
+	for _, i := range []int{0, 1, 63, 64, 65, 99} {
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestSetBool(t *testing.T) {
+	v := New(4)
+	v.SetBool(2, true)
+	v.SetBool(3, false)
+	if !v.Get(2) || v.Get(3) {
+		t.Fatalf("SetBool wrong: %v", v)
+	}
+}
+
+func TestFromBits(t *testing.T) {
+	v := FromBits(1, 1, 0)
+	if v.Len() != 3 || !v.Get(0) || !v.Get(1) || v.Get(2) {
+		t.Fatalf("FromBits(1,1,0) = %v", v)
+	}
+	if v.String() != "[1 1 0]^T" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestFromBitsPanicsOnBadDigit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for element 2")
+		}
+	}()
+	FromBits(0, 2)
+}
+
+func TestFromBools(t *testing.T) {
+	v := FromBools([]bool{true, false, true})
+	if !v.Equal(FromBits(1, 0, 1)) {
+		t.Fatalf("FromBools mismatch: %v", v)
+	}
+}
+
+// TestPaperFigure2 reproduces the Section II worked example: the cell
+// with A_X1 = [1 1 1 1 0]^T and A_X2 = [0 0 0 1 1]^T has a replication
+// potential of 4, computed per Eq. (4) as
+// |Ā_X2 ∧ A_X1| + |Ā_X1 ∧ A_X2|.
+func TestPaperFigure2(t *testing.T) {
+	aX1 := FromBits(1, 1, 1, 1, 0)
+	aX2 := FromBits(0, 0, 0, 1, 1)
+	psi := aX1.And(aX2.Not()).Norm() + aX2.And(aX1.Not()).Norm()
+	if psi != 4 {
+		t.Fatalf("replication potential = %d, want 4", psi)
+	}
+}
+
+// TestPaperSectionIIOps checks the three binary operations exactly as
+// the paper illustrates them.
+func TestPaperSectionIIOps(t *testing.T) {
+	aX := FromBits(1, 1, 0)
+	if got := aX.Not(); !got.Equal(FromBits(0, 0, 1)) {
+		t.Fatalf("complement = %v", got)
+	}
+	aX2 := FromBits(0, 1, 1)
+	if got := aX.And(aX2); !got.Equal(FromBits(0, 1, 0)) {
+		t.Fatalf("AND = %v", got)
+	}
+	if got := FromBits(0, 1, 1).Norm(); got != 2 {
+		t.Fatalf("norm = %d, want 2", got)
+	}
+}
+
+func TestNotTrimsTail(t *testing.T) {
+	v := New(5)
+	w := v.Not()
+	if w.Norm() != 5 {
+		t.Fatalf("Norm of ~0 over 5 bits = %d, want 5", w.Norm())
+	}
+	// Double complement is identity.
+	if !w.Not().Equal(v) {
+		t.Fatal("double complement not identity")
+	}
+}
+
+func TestAndNotOr(t *testing.T) {
+	a := FromBits(1, 1, 0, 0)
+	b := FromBits(1, 0, 1, 0)
+	if got := a.AndNot(b); !got.Equal(FromBits(0, 1, 0, 0)) {
+		t.Fatalf("AndNot = %v", got)
+	}
+	if got := a.Or(b); !got.Equal(FromBits(1, 1, 1, 0)) {
+		t.Fatalf("Or = %v", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	New(3).And(New(4))
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Get")
+		}
+	}()
+	New(3).Get(3)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := FromBits(1, 0, 1)
+	w := v.Clone()
+	w.Clear(0)
+	if !v.Get(0) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func randomVector(r *rand.Rand, n int) Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Property: De Morgan — ~(a AND b) == ~a OR ~b.
+func TestPropertyDeMorgan(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVector(r, n), randomVector(r, n)
+		return a.And(b).Not().Equal(a.Not().Or(b.Not()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |a| + |~a| == Len.
+func TestPropertyNormComplement(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		r := rand.New(rand.NewSource(seed))
+		a := randomVector(r, n)
+		return a.Norm()+a.Not().Norm() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inclusion–exclusion — |a| + |b| == |a AND b| + |a OR b|.
+func TestPropertyInclusionExclusion(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVector(r, n), randomVector(r, n)
+		return a.Norm()+b.Norm() == a.And(b).Norm()+a.Or(b).Norm()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AndNot(a,b) == And(a, Not(b)).
+func TestPropertyAndNot(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVector(r, n), randomVector(r, n)
+		return a.AndNot(b).Equal(a.And(b.Not()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

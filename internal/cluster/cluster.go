@@ -1,0 +1,273 @@
+// Package cluster implements connectivity-based bottom-up clustering —
+// the "combine with clustering techniques [17]" refinement the paper's
+// conclusion points to (Hagen & Kahng, ICCAD'92). Tightly connected
+// cells are contracted into super-cells; an FM bipartition of the
+// coarse hypergraph projects back to the flat netlist as a high-quality
+// initial partition for the fine-grained engine.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/replication"
+)
+
+// Options tunes Build.
+type Options struct {
+	// Rounds of pairwise matching (each roughly halves the cell count).
+	// Default 2.
+	Rounds int
+	// MaxClusterArea caps a super-cell's total area (default 8).
+	MaxClusterArea int
+	// MaxFanout ignores nets with more connections than this when
+	// scoring affinity (clock-like nets carry no locality). Default 16.
+	MaxFanout int
+	Seed      int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds == 0 {
+		o.Rounds = 2
+	}
+	if o.MaxClusterArea == 0 {
+		o.MaxClusterArea = 8
+	}
+	if o.MaxFanout == 0 {
+		o.MaxFanout = 16
+	}
+	return o
+}
+
+// Clustering relates a coarse hypergraph to the original cells.
+type Clustering struct {
+	Graph   *hypergraph.Graph
+	Members [][]hypergraph.CellID // per coarse cell: original cell ids
+}
+
+// Project expands a coarse-level assignment to the original cells.
+func (c *Clustering) Project(coarse []replication.Block, numCells int) ([]replication.Block, error) {
+	if len(coarse) != len(c.Members) {
+		return nil, fmt.Errorf("cluster: assignment over %d cells, coarse graph has %d", len(coarse), len(c.Members))
+	}
+	out := make([]replication.Block, numCells)
+	seen := 0
+	for ci, members := range c.Members {
+		for _, m := range members {
+			if int(m) >= numCells {
+				return nil, fmt.Errorf("cluster: member %d outside original graph", m)
+			}
+			out[m] = coarse[ci]
+			seen++
+		}
+	}
+	if seen != numCells {
+		return nil, fmt.Errorf("cluster: members cover %d of %d cells", seen, numCells)
+	}
+	return out, nil
+}
+
+// Build contracts the graph by repeated heavy-edge matching.
+func Build(g *hypergraph.Graph, opts Options) (*Clustering, error) {
+	opts = opts.withDefaults()
+	cur := g
+	members := make([][]hypergraph.CellID, g.NumCells())
+	for i := range members {
+		members[i] = []hypergraph.CellID{hypergraph.CellID(i)}
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	for round := 0; round < opts.Rounds; round++ {
+		match := matchRound(cur, opts, r)
+		coarse, coarseMembers, err := contract(cur, match)
+		if err != nil {
+			return nil, err
+		}
+		if coarse.NumCells() >= cur.NumCells() {
+			break // no progress
+		}
+		// Compose membership through this round.
+		next := make([][]hypergraph.CellID, len(coarseMembers))
+		for ci, ms := range coarseMembers {
+			for _, m := range ms {
+				next[ci] = append(next[ci], members[m]...)
+			}
+		}
+		members = next
+		cur = coarse
+	}
+	return &Clustering{Graph: cur, Members: members}, nil
+}
+
+// matchRound pairs each cell with its highest-affinity unmatched
+// neighbor, subject to the area cap. match[i] = partner index or i.
+func matchRound(g *hypergraph.Graph, opts Options, r *rand.Rand) []int {
+	n := g.NumCells()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = i
+	}
+	order := r.Perm(n)
+	taken := make([]bool, n)
+	weights := make(map[hypergraph.CellID]float64, 16)
+	for _, ui := range order {
+		if taken[ui] {
+			continue
+		}
+		u := hypergraph.CellID(ui)
+		for k := range weights {
+			delete(weights, k)
+		}
+		for _, net := range g.CellNets(u) {
+			conns := g.Nets[net].Conns
+			if len(conns) > opts.MaxFanout || len(conns) < 2 {
+				continue
+			}
+			w := 1.0 / float64(len(conns)-1)
+			for _, cn := range conns {
+				if cn.Cell != u && !taken[cn.Cell] {
+					weights[cn.Cell] += w
+				}
+			}
+		}
+		best := hypergraph.CellID(-1)
+		bestW := 0.0
+		for v, w := range weights {
+			if g.Cells[u].Area+g.Cells[v].Area > opts.MaxClusterArea {
+				continue
+			}
+			if w > bestW || (w == bestW && best >= 0 && v < best) {
+				best, bestW = v, w
+			}
+		}
+		if best >= 0 {
+			taken[ui], taken[best] = true, true
+			match[ui] = int(best)
+			match[best] = ui
+		}
+	}
+	return match
+}
+
+// contract builds the coarse hypergraph induced by the matching. Nets
+// fully inside one cluster vanish; surviving nets keep their external
+// kind. Coarse cells use full dependence (replication runs at the fine
+// level only).
+func contract(g *hypergraph.Graph, match []int) (*hypergraph.Graph, [][]hypergraph.CellID, error) {
+	n := g.NumCells()
+	clusterOf := make([]int, n)
+	var membersList [][]hypergraph.CellID
+	for i := 0; i < n; i++ {
+		if match[i] >= i { // representative: the smaller index of a pair
+			id := len(membersList)
+			clusterOf[i] = id
+			ms := []hypergraph.CellID{hypergraph.CellID(i)}
+			if match[i] != i {
+				clusterOf[match[i]] = id
+				ms = append(ms, hypergraph.CellID(match[i]))
+			}
+			membersList = append(membersList, ms)
+		}
+	}
+
+	b := hypergraph.NewBuilder(g.Name + "~")
+	// Survey nets: which clusters touch each net, and who drives it.
+	type netInfo struct {
+		clusters map[int]bool
+		driver   int // cluster driving the net, -1 external
+	}
+	infos := make([]netInfo, g.NumNets())
+	for ni := range g.Nets {
+		infos[ni] = netInfo{clusters: map[int]bool{}, driver: -1}
+	}
+	for ci := range g.Cells {
+		cl := clusterOf[ci]
+		c := &g.Cells[ci]
+		for _, net := range c.Outputs {
+			infos[net].clusters[cl] = true
+			infos[net].driver = cl
+		}
+		for _, net := range c.Inputs {
+			if net != hypergraph.NilNet {
+				infos[net].clusters[cl] = true
+			}
+		}
+	}
+	netID := make([]hypergraph.NetID, g.NumNets())
+	for ni := range netID {
+		netID[ni] = hypergraph.NilNet
+	}
+	// Sorted net order keeps the builder deterministic.
+	for ni := range g.Nets {
+		info := &infos[ni]
+		ext := g.Nets[ni].Ext
+		if len(info.clusters) < 2 && ext == hypergraph.Internal {
+			continue // fully internal to one cluster
+		}
+		switch ext {
+		case hypergraph.ExtIn:
+			netID[ni] = b.InputNet(g.Nets[ni].Name)
+		case hypergraph.ExtOut:
+			netID[ni] = b.OutputNet(g.Nets[ni].Name)
+		default:
+			netID[ni] = b.Net(g.Nets[ni].Name)
+		}
+	}
+	for cl, ms := range membersList {
+		var inputs, outputs []hypergraph.NetID
+		seenIn := map[hypergraph.NetID]bool{}
+		seenOut := map[hypergraph.NetID]bool{}
+		area, dffs := 0, 0
+		for _, m := range ms {
+			c := &g.Cells[m]
+			area += c.Area
+			dffs += c.DFFs
+			for _, net := range c.Outputs {
+				if id := netID[net]; id != hypergraph.NilNet && !seenOut[id] {
+					seenOut[id] = true
+					outputs = append(outputs, id)
+				}
+			}
+			for _, net := range c.Inputs {
+				if net == hypergraph.NilNet {
+					continue
+				}
+				id := netID[net]
+				if id == hypergraph.NilNet || seenIn[id] || infos[net].driver == cl {
+					continue // internal, duplicate, or driven by this cluster
+				}
+				seenIn[id] = true
+				inputs = append(inputs, id)
+			}
+		}
+		if len(outputs) == 0 {
+			// A pure-sink cluster (e.g. all its outputs are internal):
+			// keep the builder happy with a synthetic throwaway output?
+			// This cannot happen: every cell output either survives or
+			// is internal to the cluster, and internal means another
+			// member consumes it — but a cluster with no surviving
+			// outputs and no external nets would be unreachable logic.
+			return nil, nil, fmt.Errorf("cluster: cluster %d of %q has no surviving outputs", cl, g.Name)
+		}
+		b.AddCell(hypergraph.CellSpec{
+			Name:    fmt.Sprintf("k%d", cl),
+			Inputs:  inputs,
+			Outputs: outputs,
+			Area:    area,
+			DFFs:    dffs,
+		})
+	}
+	coarse, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return coarse, membersList, nil
+}
+
+// sortCells is a test helper ordering member lists deterministically.
+func (c *Clustering) sortCells() {
+	for _, ms := range c.Members {
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	}
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/replication"
+)
+
+func testGraph(t *testing.T, cells int, seed int64) *hypergraph.Graph {
+	t.Helper()
+	g, err := bench.Generate(bench.Params{
+		Name: "cl", Cells: cells, PrimaryIn: 12, PrimaryOut: 8,
+		Clustering: 0.5, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildReducesAndCovers(t *testing.T) {
+	g := testGraph(t, 300, 1)
+	cl, err := Build(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Graph.NumCells() >= g.NumCells() {
+		t.Fatalf("no reduction: %d -> %d", g.NumCells(), cl.Graph.NumCells())
+	}
+	if err := cl.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Membership covers every original cell exactly once.
+	seen := make(map[hypergraph.CellID]bool)
+	for _, ms := range cl.Members {
+		for _, m := range ms {
+			if seen[m] {
+				t.Fatalf("cell %d in two clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != g.NumCells() {
+		t.Fatalf("membership covers %d of %d", len(seen), g.NumCells())
+	}
+	// Area is conserved.
+	if cl.Graph.TotalArea() != g.TotalArea() {
+		t.Fatalf("area %d != %d", cl.Graph.TotalArea(), g.TotalArea())
+	}
+	if cl.Graph.NumDFF() != g.NumDFF() {
+		t.Fatalf("dffs %d != %d", cl.Graph.NumDFF(), g.NumDFF())
+	}
+}
+
+func TestBuildRespectsAreaCap(t *testing.T) {
+	g := testGraph(t, 300, 2)
+	cl, err := Build(g, Options{Rounds: 4, MaxClusterArea: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range cl.Graph.Cells {
+		if a := cl.Graph.Cells[ci].Area; a > 4 {
+			t.Fatalf("cluster %d area %d > cap", ci, a)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	g := testGraph(t, 200, 3)
+	a, err := Build(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumCells() != b.Graph.NumCells() || a.Graph.NumNets() != b.Graph.NumNets() {
+		t.Fatal("nondeterministic clustering")
+	}
+}
+
+func TestProject(t *testing.T) {
+	g := testGraph(t, 150, 4)
+	cl, err := Build(g, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := make([]replication.Block, cl.Graph.NumCells())
+	for i := range coarse {
+		coarse[i] = replication.Block(i % 2)
+	}
+	fine, err := cl.Project(coarse, g.NumCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every member landed on its cluster's block.
+	for ci, ms := range cl.Members {
+		for _, m := range ms {
+			if fine[m] != coarse[ci] {
+				t.Fatalf("cell %d projected to %d, cluster %d on %d", m, fine[m], ci, coarse[ci])
+			}
+		}
+	}
+	if _, err := cl.Project(coarse[:1], g.NumCells()); err == nil {
+		t.Fatal("short coarse assignment should fail")
+	}
+}
+
+// Clustering must preserve the cut structure: the projection of any
+// coarse bipartition has the same cut as the coarse bipartition
+// itself (internal nets of a cluster can never be cut).
+func TestCutPreservation(t *testing.T) {
+	g := testGraph(t, 200, 6)
+	cl, err := Build(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.sortCells()
+	coarse := make([]replication.Block, cl.Graph.NumCells())
+	for i := range coarse {
+		coarse[i] = replication.Block((i / 3) % 2)
+	}
+	stCoarse, err := replication.NewState(cl.Graph, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := cl.Project(coarse, g.NumCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stFine, err := replication.NewState(g, fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCoarse.CutSize() != stFine.CutSize() {
+		t.Fatalf("coarse cut %d != projected fine cut %d", stCoarse.CutSize(), stFine.CutSize())
+	}
+}

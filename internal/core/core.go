@@ -1,0 +1,134 @@
+// Package core is the public face of the library: multi-way netlist
+// partitioning into heterogeneous FPGAs with minimization of total
+// device cost and interconnect (Kužnar, Brglez, Zajc — DAC'94). It
+// wires the substrates together: gate-level netlists (netlist) are
+// technology-mapped into XC3000-style CLBs (techmap), modeled as a
+// hypergraph with per-output adjacency vectors (hypergraph), and
+// partitioned over a device library (library) by the cost-driven
+// recursive engine (kway) whose bipartitioner (fm) performs min-cut
+// refinement with functional replication (replication).
+//
+// Quick start:
+//
+//	g := ...                       // *hypergraph.Graph, e.g. bench.Suite()[0].MustBuild()
+//	res, err := core.Partition(g, core.Options{})
+//	fmt.Println(res.Summary)       // k, device cost (Eq. 1), IOB utilization (Eq. 2)
+package core
+
+import (
+	"fpgapart/internal/fm"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/kway"
+	"fpgapart/internal/library"
+	"fpgapart/internal/netlist"
+	"fpgapart/internal/replication"
+	"fpgapart/internal/techmap"
+)
+
+// NoReplication disables functional replication when used as the
+// Threshold, reproducing the DAC'93 baseline partitioner ([3]).
+const NoReplication = fm.NoReplication
+
+// Options configures Partition and MapAndPartition.
+type Options struct {
+	// Library is the heterogeneous FPGA device library (Table I).
+	// Defaults to library.XC3000().
+	Library library.Library
+	// Threshold is the replication potential threshold T (Eq. 6): a
+	// multi-output cell may replicate when ψ ≥ T. Use NoReplication to
+	// disable replication. Default 1.
+	Threshold int
+	// Solutions is how many feasible k-way solutions the randomized
+	// search generates before keeping the best (default 50, as in the
+	// paper's experiments).
+	Solutions int
+	// Refine runs the pairwise k-way refinement sweep on the winning
+	// solution (extension; see kway.Refine).
+	Refine bool
+	Seed   int64
+}
+
+func (o Options) fill() Options {
+	if len(o.Library.Devices) == 0 {
+		o.Library = library.XC3000()
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 1
+	}
+	return o
+}
+
+// Result is the outcome of a k-way partition: the materialized part
+// subcircuits with their devices, and the Eq. 1 / Eq. 2 summary.
+type Result = kway.Result
+
+// Partition finds a feasible k-way partition of the mapped circuit
+// minimizing total device cost (Eq. 1) with average IOB utilization
+// (Eq. 2) as tie-breaker.
+func Partition(g *hypergraph.Graph, opts Options) (Result, error) {
+	opts = opts.fill()
+	kopts := kway.Options{
+		Library:   opts.Library,
+		Threshold: opts.Threshold,
+		Solutions: opts.Solutions,
+		Seed:      opts.Seed,
+	}
+	res, err := kway.Partition(g, kopts)
+	if err != nil {
+		return res, err
+	}
+	if opts.Refine {
+		if _, err := kway.Refine(g, &res, kopts); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// MapAndPartition technology-maps a gate-level netlist into XC3000
+// CLBs, then partitions the result.
+func MapAndPartition(n *netlist.Netlist, opts Options) (*techmap.Mapped, Result, error) {
+	opts = opts.fill()
+	m, err := techmap.Map(n, techmap.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, Result{}, err
+	}
+	res, err := Partition(m.Graph, opts)
+	if err != nil {
+		return m, Result{}, err
+	}
+	return m, res, nil
+}
+
+// BipartitionOptions configures MinCutBipartition.
+type BipartitionOptions struct {
+	// Threshold is the replication threshold T (NoReplication disables;
+	// the paper's first experiment uses T = 0 for maximum replication).
+	Threshold int
+	// Balance is the allowed deviation from an equal split (default
+	// 0.05, i.e. each block holds 45–55% of the area, with 10% headroom
+	// for replication growth).
+	Balance float64
+	// Starts is the number of random initial partitions (default 1).
+	Starts int
+	Seed   int64
+}
+
+// MinCutBipartition reproduces the paper's first experiment on one
+// circuit: bipartition into two (nearly) equal blocks minimizing the
+// cut, optionally with functional replication. The returned state
+// exposes the assignment, replication set and cut.
+func MinCutBipartition(g *hypergraph.Graph, opts BipartitionOptions) (*replication.State, fm.Result, error) {
+	if opts.Balance == 0 {
+		opts.Balance = 0.05
+	}
+	minA, maxA := fm.Balance(g.TotalArea(), opts.Balance)
+	maxA = [2]int{maxA[0] * 11 / 10, maxA[1] * 11 / 10}
+	return fm.Bipartition(g, fm.Options{
+		Config: fm.Config{
+			MinArea: minA, MaxArea: maxA,
+			Threshold: opts.Threshold, Seed: opts.Seed,
+		},
+		Starts: opts.Starts,
+	})
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/netlist"
+)
+
+func TestPartitionDefaults(t *testing.T) {
+	c, _ := bench.ByName("c3540")
+	g := c.Small(2).MustBuild()
+	res, err := Partition(g, Options{Solutions: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Summary.Feasible() {
+		t.Fatalf("infeasible: %v", res.Summary)
+	}
+	if res.Summary.DeviceCost() <= 0 {
+		t.Fatal("zero cost")
+	}
+}
+
+func TestPartitionNoReplication(t *testing.T) {
+	c, _ := bench.ByName("s5378")
+	g := c.Small(2).MustBuild()
+	res, err := Partition(g, Options{Threshold: NoReplication, Solutions: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.ReplicatedCells() != 0 {
+		t.Fatal("baseline must not replicate")
+	}
+}
+
+func TestMapAndPartition(t *testing.T) {
+	n, err := netlist.Random(netlist.RandomParams{Gates: 500, Inputs: 16, Outputs: 8, DffFrac: 0.15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, res, err := MapAndPartition(n, Options{Solutions: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Graph.NumCells() == 0 || !res.Summary.Feasible() {
+		t.Fatalf("bad result: %d cells, %v", m.Graph.NumCells(), res.Summary)
+	}
+	// Parts cover at least the mapped cells.
+	if res.Summary.TotalCells() < m.Graph.NumCells() {
+		t.Fatal("parts lost cells")
+	}
+}
+
+func TestMinCutBipartition(t *testing.T) {
+	c, _ := bench.ByName("s9234")
+	g := c.Small(2).MustBuild()
+	stPlain, resPlain, err := MinCutBipartition(g, BipartitionOptions{Threshold: NoReplication, Seed: 4, Starts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRepl, resRepl, err := MinCutBipartition(g, BipartitionOptions{Threshold: 0, Seed: 4, Starts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stPlain.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stRepl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if resRepl.Cut > resPlain.Cut {
+		t.Fatalf("replication worsened the cut: %d > %d", resRepl.Cut, resPlain.Cut)
+	}
+}
+
+func TestPartitionWithRefine(t *testing.T) {
+	c, _ := bench.ByName("s13207")
+	g := c.Small(2).MustBuild()
+	plain, err := Partition(g, Options{Solutions: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Partition(g, Options{Solutions: 4, Seed: 5, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Summary.AvgIOBUtil() > plain.Summary.AvgIOBUtil()+1e-9 {
+		t.Fatalf("refine worsened IOB util: %.3f vs %.3f",
+			refined.Summary.AvgIOBUtil(), plain.Summary.AvgIOBUtil())
+	}
+	if !refined.Summary.Feasible() {
+		t.Fatal("refined solution infeasible")
+	}
+}

@@ -1,0 +1,88 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV exporters for downstream analysis of the experiment data. Each
+// writes one flat table; cmd/benchtables -csv wires them to files.
+
+func writeAll(w *csv.Writer, rows [][]string) error {
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }
+func i(v int) string     { return fmt.Sprintf("%d", v) }
+
+// TableIICSV writes the benchmark characteristics.
+func TableIICSV(w io.Writer, rows []CircuitChar) error {
+	out := [][]string{{"circuit", "clbs", "iobs", "dff", "nets", "pins"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Name, i(r.CLBs), i(r.IOBs), i(r.DFF), i(r.Nets), i(r.Pins)})
+	}
+	return writeAll(csv.NewWriter(w), out)
+}
+
+// Figure3CSV writes the ψ distribution (percent of cells per bin).
+func Figure3CSV(w io.Writer, rows []PsiBins) error {
+	out := [][]string{{"circuit", "psi0_single", "psi0_multi", "psi1", "psi2", "psi3", "psi4", "psi_gt4"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name, f(r.Single), f(r.MultiZ),
+			f(r.Psi[0]), f(r.Psi[1]), f(r.Psi[2]), f(r.Psi[3]), f(r.PsiMore),
+		})
+	}
+	return writeAll(csv.NewWriter(w), out)
+}
+
+// TableIIICSV writes the min-cut experiment rows.
+func TableIIICSV(w io.Writer, rows []CutRow) error {
+	out := [][]string{{
+		"circuit", "runs", "fm_best", "fm_avg", "fr_best", "fr_avg",
+		"best_red_pct", "avg_red_pct", "fm_cpu_s", "fr_cpu_s", "avg_replicated_cells",
+	}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name, i(r.Runs), i(r.FMBest), f(r.FMAvg), i(r.FRBest), f(r.FRAvg),
+			f(r.BestRed), f(r.AvgRed),
+			f(r.FMCPU.Seconds()), f(r.FRCPU.Seconds()), f(r.ReplicatedCells),
+		})
+	}
+	return writeAll(csv.NewWriter(w), out)
+}
+
+// KwayCSV writes the k-way experiment in long format: one row per
+// (circuit, setting), where setting is "base" or "T<k>".
+func KwayCSV(w io.Writer, rows []KwayRow) error {
+	out := [][]string{{
+		"circuit", "setting", "ok", "k", "cost", "clb_util_pct", "iob_util_pct",
+		"replicated_pct", "cpu_s",
+	}}
+	emit := func(name, setting string, c KwayCell) {
+		ok := "1"
+		if c.Err != nil {
+			ok = "0"
+		}
+		out = append(out, []string{
+			name, setting, ok, i(c.K), f(c.Cost), f(c.CLBUtil), f(c.IOBUtil),
+			f(c.ReplPct), f(c.CPU.Seconds()),
+		})
+	}
+	for _, r := range rows {
+		emit(r.Name, "base", r.Baseline)
+		for _, t := range []int{0, 1, 2, 3} {
+			if c, ok := r.ByT[t]; ok {
+				emit(r.Name, fmt.Sprintf("T%d", t), c)
+			}
+		}
+	}
+	return writeAll(csv.NewWriter(w), out)
+}

@@ -1,0 +1,38 @@
+package expt
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestFullTableIII runs the complete first experiment (20 runs per
+// circuit on the full-size suite). Gated behind FPGAPART_FULL=1; the
+// cmd/benchtables binary is the normal entry point.
+func TestFullTableIII(t *testing.T) {
+	if os.Getenv("FPGAPART_FULL") == "" {
+		t.Skip("set FPGAPART_FULL=1 to run the full experiment")
+	}
+	_, tab, err := TableIII(Config{Runs: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(tab.String())
+}
+
+// TestFullKway runs the complete second experiment feeding Tables
+// IV–VII. Gated behind FPGAPART_FULL=1.
+func TestFullKway(t *testing.T) {
+	if os.Getenv("FPGAPART_FULL") == "" {
+		t.Skip("set FPGAPART_FULL=1 to run the full experiment")
+	}
+	cfg := Config{Solutions: 10, Seed: 42}
+	rows, err := RunKway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(TableIV(cfg, rows).String())
+	fmt.Println(TableV(rows).String())
+	fmt.Println(TableVI(rows).String())
+	fmt.Println(TableVII(rows).String())
+}

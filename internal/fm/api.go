@@ -1,0 +1,82 @@
+package fm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/replication"
+)
+
+// RandomAssign produces an area-balanced random initial bipartition:
+// cells are shuffled and assigned to block 0 until it holds half the
+// total area.
+func RandomAssign(g *hypergraph.Graph, seed int64) []replication.Block {
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(g.NumCells())
+	half := g.TotalArea() / 2
+	assign := make([]replication.Block, g.NumCells())
+	acc := 0
+	for _, ci := range perm {
+		if acc < half {
+			assign[ci] = 0
+			acc += g.Cells[ci].Area
+		} else {
+			assign[ci] = 1
+		}
+	}
+	return assign
+}
+
+// Balance returns symmetric [min,max] area bounds for an equal
+// bipartition of the given total area with slack eps (e.g. eps=0.05
+// allows each block 45–55% of the total). Replication can push a
+// block's active area above total/2, which the max bound absorbs.
+func Balance(totalArea int, eps float64) (minArea, maxArea [2]int) {
+	lo := int(math.Floor(float64(totalArea)*(0.5-eps) + 1e-9))
+	hi := int(math.Ceil(float64(totalArea)*(0.5+eps) - 1e-9))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < 1 {
+		hi = 1
+	}
+	return [2]int{lo, lo}, [2]int{hi, hi}
+}
+
+// Options configures a multi-start bipartition.
+type Options struct {
+	Config
+	// Starts is the number of random initial partitions tried
+	// (default 1). The best final cut wins.
+	Starts int
+}
+
+// Bipartition runs multi-start FM on the graph and returns the best
+// resulting state and its run summary.
+func Bipartition(g *hypergraph.Graph, opts Options) (*replication.State, Result, error) {
+	if opts.Starts <= 0 {
+		opts.Starts = 1
+	}
+	var bestState *replication.State
+	bestCut, totPasses, totMoves := 0, 0, 0
+	for s := 0; s < opts.Starts; s++ {
+		cfg := opts.Config
+		cfg.Seed = opts.Seed + int64(s)*7919
+		st, err := replication.NewState(g, RandomAssign(g, cfg.Seed))
+		if err != nil {
+			return nil, Result{}, err
+		}
+		res, err := Run(st, cfg)
+		if err != nil {
+			return nil, Result{}, fmt.Errorf("fm: start %d: %w", s, err)
+		}
+		totPasses += res.Passes
+		totMoves += res.Moves
+		if bestState == nil || res.Cut < bestCut {
+			bestState, bestCut = st, res.Cut
+		}
+	}
+	return bestState, Result{Cut: bestCut, Passes: totPasses, Moves: totMoves}, nil
+}

@@ -1,0 +1,314 @@
+// Package fm implements the Fiduccia–Mattheyses min-cut bipartitioning
+// heuristic [15] and its extension with functional replication
+// (Kužnar et al., DAC'94, Section III.D). A pass repeatedly applies
+// the best feasible candidate move — single cell move, functional
+// replication with the best output split, or unreplication — locking
+// each cell after it participates once, and finally rolls back to the
+// best prefix. Passes repeat until a pass yields no improvement.
+package fm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/replication"
+)
+
+// NoReplication disables replication moves when used as the Threshold.
+const NoReplication = -1
+
+// Config controls one bipartitioning run.
+type Config struct {
+	// MinArea/MaxArea bound the active cell area of each block; a move
+	// is feasible only if both blocks stay within bounds afterwards.
+	MinArea [2]int
+	MaxArea [2]int
+	// Threshold is the replication potential threshold T (Eq. 6):
+	// multi-output cells with ψ ≥ T may replicate. NoReplication (-1)
+	// disables replication entirely (plain FM).
+	Threshold int
+	// MaxPasses caps FM passes (default 24).
+	MaxPasses int
+	// FlowRefine runs the exact max-flow replication pull
+	// (replication.OptimalPull, the paper's suggested combination with
+	// [4]) in both directions after the FM phases converge.
+	FlowRefine bool
+	// Seed orders candidate insertion for tie-breaking.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPasses == 0 {
+		c.MaxPasses = 24
+	}
+	return c
+}
+
+// Result summarizes a run.
+type Result struct {
+	Cut    int // final cut size
+	Passes int
+	Moves  int // applied moves across all passes (before rollbacks)
+}
+
+type entry struct {
+	cell  hypergraph.CellID
+	move  replication.Move
+	gain  int
+	stamp uint32
+}
+
+type engine struct {
+	st       *replication.State
+	cfg      Config
+	gainOf   int // bucket offset = max |gain|
+	bucket   [][]entry
+	maxPtr   int
+	stamp    []uint32
+	locked   []bool
+	order    []hypergraph.CellID
+	scratch  []hypergraph.CellID
+	replOnly bool
+}
+
+// Run improves the bipartition state in place and returns the result.
+// The state may contain replicated cells from previous runs; they are
+// kept and remain subject to unreplication moves.
+func Run(st *replication.State, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	g := st.Graph()
+	if cfg.MaxArea[0] <= 0 || cfg.MaxArea[1] <= 0 {
+		return Result{}, fmt.Errorf("fm: MaxArea must be positive, got %v", cfg.MaxArea)
+	}
+	if cfg.MinArea[0] < 0 || cfg.MinArea[1] < 0 {
+		return Result{}, fmt.Errorf("fm: MinArea must be non-negative, got %v", cfg.MinArea)
+	}
+	for b := 0; b < 2; b++ {
+		if st.Area(replication.Block(b)) > cfg.MaxArea[b] || st.Area(replication.Block(b)) < cfg.MinArea[b] {
+			return Result{}, fmt.Errorf("fm: initial area %d of block %d outside [%d,%d]",
+				st.Area(replication.Block(b)), b, cfg.MinArea[b], cfg.MaxArea[b])
+		}
+	}
+	// Bound on |gain|: the largest number of distinct nets on a cell.
+	maxNets := 1
+	for ci := range g.Cells {
+		if n := len(g.CellNets(hypergraph.CellID(ci))); n > maxNets {
+			maxNets = n
+		}
+	}
+	e := &engine{
+		st:     st,
+		cfg:    cfg,
+		gainOf: maxNets,
+		bucket: make([][]entry, 2*maxNets+1),
+		stamp:  make([]uint32, g.NumCells()),
+		locked: make([]bool, g.NumCells()),
+		order:  make([]hypergraph.CellID, g.NumCells()),
+	}
+	for i := range e.order {
+		e.order[i] = hypergraph.CellID(i)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	r.Shuffle(len(e.order), func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] })
+
+	// Phase 1: plain FM passes to convergence. Phase 2 (when
+	// replication is enabled): passes that also offer replication and
+	// unreplication moves, refining the converged min-cut solution —
+	// the paper extends the original min-cut algorithm [15] this way,
+	// and each pass's best-prefix rollback guarantees phase 2 never
+	// worsens the phase-1 cut.
+	res := Result{Cut: st.CutSize()}
+	phase := func(threshold int, replOnly bool) bool {
+		e.cfg.Threshold = threshold
+		e.replOnly = replOnly
+		any := false
+		for pass := 0; pass < cfg.MaxPasses; pass++ {
+			improved, moves := e.pass()
+			res.Passes++
+			res.Moves += moves
+			if !improved {
+				break
+			}
+			any = true
+		}
+		return any
+	}
+	if cfg.Threshold == NoReplication {
+		phase(NoReplication, false)
+	} else {
+		// Alternate until a full plain+replication round is dry. The
+		// replication phase restricts the move universe to replicate/
+		// unreplicate so that cut-neutral single moves cannot crowd out
+		// replication opportunities; the following plain phase then
+		// re-optimizes positions.
+		for round := 0; round < cfg.MaxPasses; round++ {
+			p := phase(NoReplication, false)
+			r := phase(cfg.Threshold, true)
+			if !p && !r {
+				break
+			}
+		}
+	}
+	if cfg.FlowRefine {
+		if err := flowRefine(st, cfg); err != nil {
+			return res, err
+		}
+	}
+	res.Cut = st.CutSize()
+	return res, nil
+}
+
+// flowRefine applies the exact replication pull in both directions
+// until neither improves, rolling back any pull that violates the area
+// bounds (OptimalPull only budgets the growing block).
+func flowRefine(st *replication.State, cfg Config) error {
+	for {
+		improved := false
+		for b := replication.Block(0); b < 2; b++ {
+			to := b.Other()
+			budget := cfg.MaxArea[to] - st.Area(to)
+			if budget <= 0 {
+				continue
+			}
+			tok := st.Mark()
+			before := st.CutSize()
+			res, err := replication.OptimalPull(st, b, replication.PullOptions{
+				Radius: 4, MaxExtraArea: budget,
+			})
+			if err != nil {
+				return err
+			}
+			if !res.Applied {
+				continue
+			}
+			if st.Area(b) < cfg.MinArea[b] || st.CutSize() >= before {
+				if err := st.Undo(tok); err != nil {
+					return err
+				}
+				continue
+			}
+			improved = true
+		}
+		if !improved {
+			return nil
+		}
+	}
+}
+
+// candidates computes the move set of a free cell under the current
+// state: single move for unreplicated cells plus functional
+// replication splits when eligible, or the two unreplication merges
+// for replicated cells.
+func (e *engine) candidates(c hypergraph.CellID, emit func(replication.Move)) {
+	if e.st.IsReplicated(c) {
+		emit(replication.Move{Cell: c, Kind: replication.Unreplicate, To: 0})
+		emit(replication.Move{Cell: c, Kind: replication.Unreplicate, To: 1})
+		return
+	}
+	if !e.replOnly {
+		emit(replication.Move{Cell: c, Kind: replication.SingleMove})
+	}
+	if e.cfg.Threshold != NoReplication && e.st.CanReplicate(c, e.cfg.Threshold) {
+		for _, carry := range e.st.Splits(c) {
+			emit(replication.Move{Cell: c, Kind: replication.Replicate, Carry: carry})
+		}
+	}
+}
+
+func (e *engine) push(c hypergraph.CellID) {
+	e.stamp[c]++
+	s := e.stamp[c]
+	e.candidates(c, func(m replication.Move) {
+		g := e.st.MustGain(m)
+		idx := g + e.gainOf
+		if idx < 0 {
+			idx = 0
+		} else if idx >= len(e.bucket) {
+			idx = len(e.bucket) - 1
+		}
+		e.bucket[idx] = append(e.bucket[idx], entry{cell: c, move: m, gain: g, stamp: s})
+		if idx > e.maxPtr {
+			e.maxPtr = idx
+		}
+	})
+}
+
+// feasible checks the area bounds after a prospective move.
+func (e *engine) feasible(m replication.Move) bool {
+	d0, d1, err := e.st.AreaDelta(m)
+	if err != nil {
+		return false
+	}
+	a0 := e.st.Area(0) + d0
+	a1 := e.st.Area(1) + d1
+	return a0 >= e.cfg.MinArea[0] && a0 <= e.cfg.MaxArea[0] &&
+		a1 >= e.cfg.MinArea[1] && a1 <= e.cfg.MaxArea[1]
+}
+
+// pass runs one FM pass and reports whether the cut improved, plus the
+// number of applied moves.
+func (e *engine) pass() (bool, int) {
+	for i := range e.bucket {
+		e.bucket[i] = e.bucket[i][:0]
+	}
+	e.maxPtr = 0
+	for i := range e.locked {
+		e.locked[i] = false
+	}
+	for _, c := range e.order {
+		e.push(c)
+	}
+	startCut := e.st.CutSize()
+	bestCut := startCut
+	bestTok := e.st.Mark()
+	moves := 0
+	for {
+		ent, ok := e.pop()
+		if !ok {
+			break
+		}
+		if _, err := e.st.Apply(ent.move); err != nil {
+			// Stale entries referencing no-longer-valid moves are
+			// filtered by stamps; an apply error here is a bug.
+			panic(fmt.Sprintf("fm: applying %v: %v", ent.move, err))
+		}
+		moves++
+		e.locked[ent.cell] = true
+		e.scratch = e.st.TouchedCells(ent.cell, e.scratch)
+		for _, t := range e.scratch {
+			if !e.locked[t] {
+				e.push(t)
+			}
+		}
+		if cut := e.st.CutSize(); cut < bestCut {
+			bestCut = cut
+			bestTok = e.st.Mark()
+		}
+	}
+	if err := e.st.Undo(bestTok); err != nil {
+		panic(fmt.Sprintf("fm: rollback: %v", err))
+	}
+	return bestCut < startCut, moves
+}
+
+// pop returns the highest-gain fresh, unlocked, feasible entry.
+func (e *engine) pop() (entry, bool) {
+	for e.maxPtr >= 0 {
+		b := e.bucket[e.maxPtr]
+		if len(b) == 0 {
+			e.maxPtr--
+			continue
+		}
+		ent := b[len(b)-1]
+		e.bucket[e.maxPtr] = b[:len(b)-1]
+		if e.locked[ent.cell] || e.stamp[ent.cell] != ent.stamp {
+			continue
+		}
+		if !e.feasible(ent.move) {
+			continue
+		}
+		return ent, true
+	}
+	return entry{}, false
+}

@@ -1,0 +1,67 @@
+package fm
+
+import (
+	"math/rand"
+
+	"fpgapart/internal/cluster"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/replication"
+)
+
+// MultilevelAssign produces an initial bipartition by clustering the
+// graph (heavy-edge matching), bipartitioning the coarse hypergraph
+// with plain FM, and projecting the result back — the "combine with
+// clustering [17]" scheme from the paper's conclusion. The returned
+// assignment seeds the fine-level engine.
+func MultilevelAssign(g *hypergraph.Graph, seed int64) ([]replication.Block, error) {
+	cl, err := cluster.Build(g, cluster.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	coarse := cl.Graph
+	minA, maxA := Balance(coarse.TotalArea(), 0.10)
+	st, _, err := Bipartition(coarse, Options{
+		Config: Config{MinArea: minA, MaxArea: maxA, Threshold: NoReplication, Seed: seed},
+		Starts: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	coarseAssign := make([]replication.Block, coarse.NumCells())
+	for ci := range coarseAssign {
+		coarseAssign[ci] = st.Home(hypergraph.CellID(ci))
+	}
+	assign, err := cl.Project(coarseAssign, g.NumCells())
+	if err != nil {
+		return nil, err
+	}
+	rebalance(g, assign, seed)
+	return assign, nil
+}
+
+// rebalance nudges the assignment toward an even split (cluster lumps
+// can leave the projection outside tight FM bounds); the fine FM pass
+// recovers any cut damage.
+func rebalance(g *hypergraph.Graph, assign []replication.Block, seed int64) {
+	var area [2]int
+	for ci, b := range assign {
+		area[b] += g.Cells[ci].Area
+	}
+	half := g.TotalArea() / 2
+	r := rand.New(rand.NewSource(seed ^ 0x5f5f))
+	perm := r.Perm(len(assign))
+	for _, ci := range perm {
+		heavy := replication.Block(0)
+		if area[1] > area[0] {
+			heavy = 1
+		}
+		if area[heavy] <= half {
+			break
+		}
+		if assign[ci] == heavy {
+			assign[ci] = heavy.Other()
+			area[heavy] -= g.Cells[ci].Area
+			area[heavy.Other()] += g.Cells[ci].Area
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package hypergraph_test
+
+import (
+	"fmt"
+
+	"fpgapart/internal/hypergraph"
+)
+
+// ExampleBuilder assembles the paper's Figure 1 cell: inputs {a,b,c},
+// outputs X (depends on a,b) and Y (depends on b,c).
+func ExampleBuilder() {
+	b := hypergraph.NewBuilder("fig1")
+	a := b.InputNet("a")
+	bb := b.InputNet("b")
+	c := b.InputNet("c")
+	x := b.OutputNet("X")
+	y := b.OutputNet("Y")
+	id := b.AddCell(hypergraph.CellSpec{
+		Name:    "M",
+		Inputs:  []hypergraph.NetID{a, bb, c},
+		Outputs: []hypergraph.NetID{x, y},
+		DepBits: [][]int{{1, 1, 0}, {0, 1, 1}},
+	})
+	g := b.MustBuild()
+	cell := g.Cell(id)
+	fmt.Printf("A_X = %v, A_Y = %v\n", cell.Dep[0], cell.Dep[1])
+	fmt.Printf("replication potential ψ = %d\n", cell.ReplicationPotential())
+	// Output:
+	// A_X = [1 1 0]^T, A_Y = [0 1 1]^T
+	// replication potential ψ = 2
+}
+
+// ExampleGraph_Subcircuit extracts a functionally-replicated copy: a
+// cell copy carrying only output Y keeps just the inputs Y depends on.
+func ExampleGraph_Subcircuit() {
+	b := hypergraph.NewBuilder("fig1")
+	a := b.InputNet("a")
+	bb := b.InputNet("b")
+	c := b.InputNet("c")
+	x := b.OutputNet("X")
+	y := b.OutputNet("Y")
+	id := b.AddCell(hypergraph.CellSpec{
+		Name:    "M",
+		Inputs:  []hypergraph.NetID{a, bb, c},
+		Outputs: []hypergraph.NetID{x, y},
+		DepBits: [][]int{{1, 1, 0}, {0, 1, 1}},
+	})
+	g := b.MustBuild()
+	sub, err := g.Subcircuit("copy", []hypergraph.InstanceSpec{
+		{Cell: id, Outputs: []int{1}, Rename: "M$r"},
+	}, nil)
+	if err != nil {
+		panic(err)
+	}
+	copyCell := sub.Cell(0)
+	fmt.Printf("%s: %d inputs, %d outputs\n", copyCell.Name, len(copyCell.Inputs), len(copyCell.Outputs))
+	// Output: M$r: 2 inputs, 1 outputs
+}

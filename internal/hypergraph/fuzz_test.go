@@ -1,0 +1,40 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"circuit c\ninput a b\noutput y z\ncell u0 in=a,b out=y,z dep=11;01\n",
+		"circuit c\ninput a\noutput y\ncell u0 area=2 dff=1 in=a out=y\n",
+		"circuit c\n",
+		"circuit c\ninput a\noutput y\ncell u0 in=a out=y dep=1\ncell u1 in=y out=a\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, buf.String())
+		}
+		if back.NumCells() != g.NumCells() || back.NumNets() != g.NumNets() ||
+			back.NumPins() != g.NumPins() || back.NumTerminals() != g.NumTerminals() {
+			t.Fatal("round trip changed counts")
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The mapped-circuit text format (".clb") is line oriented:
+//
+//	# comment
+//	circuit s5378
+//	input pi0 pi1
+//	output w12 w99
+//	cell u0 area=1 dff=1 in=pi0,pi1 out=w0,w1 dep=11;01
+//
+// Each cell line carries its input nets, output nets and the adjacency
+// matrix (one row of 0/1 per output, rows separated by ';').
+
+// Write serializes the graph.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", g.Name)
+	var ins, outs []string
+	for i := range g.Nets {
+		switch g.Nets[i].Ext {
+		case ExtIn:
+			ins = append(ins, g.Nets[i].Name)
+		case ExtOut:
+			outs = append(outs, g.Nets[i].Name)
+		}
+	}
+	if len(ins) > 0 {
+		fmt.Fprintf(bw, "input %s\n", strings.Join(ins, " "))
+	}
+	if len(outs) > 0 {
+		fmt.Fprintf(bw, "output %s\n", strings.Join(outs, " "))
+	}
+	for ci := range g.Cells {
+		c := &g.Cells[ci]
+		inNames := make([]string, len(c.Inputs))
+		for i, n := range c.Inputs {
+			inNames[i] = g.Nets[n].Name
+		}
+		outNames := make([]string, len(c.Outputs))
+		for i, n := range c.Outputs {
+			outNames[i] = g.Nets[n].Name
+		}
+		rows := make([]string, len(c.Dep))
+		for i, d := range c.Dep {
+			var sb strings.Builder
+			for j := 0; j < d.Len(); j++ {
+				if d.Get(j) {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+			rows[i] = sb.String()
+		}
+		fmt.Fprintf(bw, "cell %s area=%d dff=%d in=%s out=%s dep=%s\n",
+			c.Name, c.Area, c.DFFs,
+			strings.Join(inNames, ","), strings.Join(outNames, ","), strings.Join(rows, ";"))
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format and validates the result.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var b *Builder
+	lineNo := 0
+	netOf := func(name string) NetID {
+		if id, ok := b.NetByName(name); ok {
+			return id
+		}
+		return b.Net(name)
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if b != nil {
+				return nil, fmt.Errorf("hypergraph: line %d: duplicate circuit line", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("hypergraph: line %d: want 'circuit <name>'", lineNo)
+			}
+			b = NewBuilder(fields[1])
+		case "input":
+			if b == nil {
+				return nil, fmt.Errorf("hypergraph: line %d: input before circuit", lineNo)
+			}
+			for _, n := range fields[1:] {
+				b.InputNet(n)
+			}
+		case "output":
+			if b == nil {
+				return nil, fmt.Errorf("hypergraph: line %d: output before circuit", lineNo)
+			}
+			for _, n := range fields[1:] {
+				b.MarkOutput(netOf(n))
+			}
+		case "cell":
+			if b == nil {
+				return nil, fmt.Errorf("hypergraph: line %d: cell before circuit", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("hypergraph: line %d: cell needs a name", lineNo)
+			}
+			spec := CellSpec{Name: fields[1], Area: 1}
+			var depRows []string
+			for _, kv := range fields[2:] {
+				key, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("hypergraph: line %d: bad attribute %q", lineNo, kv)
+				}
+				switch key {
+				case "area":
+					a, err := strconv.Atoi(val)
+					if err != nil {
+						return nil, fmt.Errorf("hypergraph: line %d: area: %v", lineNo, err)
+					}
+					spec.Area = a
+				case "dff":
+					d, err := strconv.Atoi(val)
+					if err != nil {
+						return nil, fmt.Errorf("hypergraph: line %d: dff: %v", lineNo, err)
+					}
+					spec.DFFs = d
+				case "in":
+					if val != "" {
+						for _, n := range strings.Split(val, ",") {
+							spec.Inputs = append(spec.Inputs, netOf(n))
+						}
+					}
+				case "out":
+					if val != "" {
+						for _, n := range strings.Split(val, ",") {
+							spec.Outputs = append(spec.Outputs, netOf(n))
+						}
+					}
+				case "dep":
+					depRows = strings.Split(val, ";")
+				default:
+					return nil, fmt.Errorf("hypergraph: line %d: unknown attribute %q", lineNo, key)
+				}
+			}
+			if depRows != nil {
+				spec.DepBits = make([][]int, len(depRows))
+				for i, row := range depRows {
+					bits := make([]int, len(row))
+					for j, ch := range row {
+						switch ch {
+						case '0':
+						case '1':
+							bits[j] = 1
+						default:
+							return nil, fmt.Errorf("hypergraph: line %d: dep digit %q", lineNo, ch)
+						}
+					}
+					spec.DepBits[i] = bits
+				}
+			}
+			b.AddCell(spec)
+		default:
+			return nil, fmt.Errorf("hypergraph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hypergraph: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("hypergraph: missing 'circuit' line")
+	}
+	return b.Build()
+}

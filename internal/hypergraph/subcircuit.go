@@ -1,0 +1,140 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgapart/internal/bitset"
+)
+
+// InstanceSpec selects one cell copy for Subcircuit extraction. With
+// functional replication a cell may appear in two subcircuits, each
+// copy carrying a disjoint subset of the outputs; Outputs lists the
+// active output pin indices of this copy (nil means all outputs).
+type InstanceSpec struct {
+	Cell    CellID
+	Outputs []int
+	Rename  string // optional name override (e.g. "u7$r" for a replica)
+}
+
+// Subcircuit materializes the hypergraph induced by the given cell
+// instances. Pin pruning follows the functional-replication rule: a
+// copy carrying output set S keeps exactly the input pins adjacent to
+// S (Section II). Nets are renumbered; a net present in the subcircuit
+// becomes a terminal when it was already external in g or when
+// external(net) reports true (i.e. the net is in the cut set of the
+// enclosing partition). Terminal direction is ExtOut when the net's
+// driver lives inside the subcircuit and ExtIn otherwise.
+func (g *Graph) Subcircuit(name string, specs []InstanceSpec, external func(NetID) bool) (*Graph, error) {
+	if external == nil {
+		external = func(NetID) bool { return false }
+	}
+	sub := &Graph{Name: name}
+	netMap := make(map[NetID]NetID)
+	driverInside := make(map[NetID]bool)
+	mapNet := func(old NetID) NetID {
+		if id, ok := netMap[old]; ok {
+			return id
+		}
+		id := NetID(len(sub.Nets))
+		sub.Nets = append(sub.Nets, Net{Name: g.Nets[old].Name})
+		netMap[old] = id
+		return id
+	}
+
+	for _, spec := range specs {
+		if int(spec.Cell) < 0 || int(spec.Cell) >= len(g.Cells) {
+			return nil, fmt.Errorf("subcircuit %q: invalid cell id %d", name, spec.Cell)
+		}
+		src := &g.Cells[spec.Cell]
+		outs := spec.Outputs
+		if outs == nil {
+			outs = make([]int, len(src.Outputs))
+			for i := range outs {
+				outs[i] = i
+			}
+		} else {
+			outs = append([]int(nil), outs...)
+			sort.Ints(outs)
+		}
+		if len(outs) == 0 {
+			return nil, fmt.Errorf("subcircuit %q: instance of %q has no active outputs", name, src.Name)
+		}
+		seen := make(map[int]bool, len(outs))
+		for _, o := range outs {
+			if o < 0 || o >= len(src.Outputs) {
+				return nil, fmt.Errorf("subcircuit %q: instance of %q references output %d of %d",
+					name, src.Name, o, len(src.Outputs))
+			}
+			if seen[o] {
+				return nil, fmt.Errorf("subcircuit %q: instance of %q repeats output %d", name, src.Name, o)
+			}
+			seen[o] = true
+		}
+
+		activeIn := src.InputsFor(outs)
+		// Compact input pins: old input index -> new index.
+		inMap := make([]int, len(src.Inputs))
+		newInputs := make([]NetID, 0, activeIn.Norm())
+		for j := range src.Inputs {
+			if activeIn.Get(j) {
+				inMap[j] = len(newInputs)
+				newInputs = append(newInputs, mapNet(src.Inputs[j]))
+			} else {
+				inMap[j] = -1
+			}
+		}
+		newOutputs := make([]NetID, len(outs))
+		newDep := make([]bitset.Vector, len(outs))
+		for k, o := range outs {
+			newOutputs[k] = mapNet(src.Outputs[o])
+			driverInside[src.Outputs[o]] = true
+			row := bitset.New(len(newInputs))
+			for j := range src.Inputs {
+				if inMap[j] >= 0 && src.Dep[o].Get(j) {
+					row.Set(inMap[j])
+				}
+			}
+			newDep[k] = row
+		}
+		cname := spec.Rename
+		if cname == "" {
+			cname = src.Name
+		}
+		sub.Cells = append(sub.Cells, Cell{
+			Name:    cname,
+			Inputs:  newInputs,
+			Outputs: newOutputs,
+			Dep:     newDep,
+			Area:    src.Area,
+			DFFs:    src.DFFs,
+		})
+	}
+
+	for old, id := range netMap {
+		switch {
+		case g.Nets[old].Ext == ExtIn:
+			sub.Nets[id].Ext = ExtIn
+		case g.Nets[old].Ext == ExtOut:
+			if driverInside[old] {
+				sub.Nets[id].Ext = ExtOut
+			} else {
+				sub.Nets[id].Ext = ExtIn
+			}
+		case external(old):
+			if driverInside[old] {
+				sub.Nets[id].Ext = ExtOut
+			} else {
+				sub.Nets[id].Ext = ExtIn
+			}
+		default:
+			sub.Nets[id].Ext = Internal
+		}
+	}
+
+	sub.RebuildConns()
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("subcircuit %q: %w", name, err)
+	}
+	return sub, nil
+}

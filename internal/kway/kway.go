@@ -1,0 +1,409 @@
+// Package kway implements the cost-driven multi-way partitioner: a
+// reimplementation of the recursive bipartitioning algorithm of
+// Kuznar–Brglez–Kozminski (DAC'93, reference [3] of the paper),
+// extended with functional replication at every bipartitioning step
+// (Kužnar et al., DAC'94). The objective is Eq. (1) — minimum total
+// device cost over a heterogeneous FPGA library — with Eq. (2), the
+// average IOB utilization, as the interconnect tie-breaker.
+//
+// The algorithm: if a (sub)circuit fits a device (utilization within
+// [l_i, u_i], terminals ≤ t_i), implement it on the cheapest such
+// device. Otherwise carve off a block sized for a randomly chosen host
+// device using (replication-)FM with asymmetric area bounds, check its
+// terminal constraint, materialize both sides as independent
+// subcircuits (cut nets become terminals; replicas become real cells),
+// and recurse on the remainder. Repeating this with randomized seeds,
+// device choices and fill targets yields many feasible k-way
+// solutions; the best under the lexicographic objective is returned.
+package kway
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"fpgapart/internal/fm"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/library"
+	"fpgapart/internal/metrics"
+	"fpgapart/internal/replication"
+)
+
+// Options configures the k-way search.
+type Options struct {
+	Library library.Library
+	// Threshold is the replication potential threshold T;
+	// fm.NoReplication reproduces the DAC'93 baseline ([3]).
+	Threshold int
+	// Solutions is the number of feasible k-way solutions to generate
+	// (the paper reports runs generating 50). Default 50.
+	Solutions int
+	// Retries is the number of carve attempts (seed/device/fill
+	// variations) before a solution attempt is abandoned. Default 20.
+	Retries int
+	// MaxPasses caps FM passes per carve (default: engine default).
+	MaxPasses int
+	Seed      int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Solutions == 0 {
+		o.Solutions = 50
+	}
+	if o.Retries == 0 {
+		o.Retries = 20
+	}
+	return o
+}
+
+// Part is one partition of the final solution.
+type Part struct {
+	Graph  *hypergraph.Graph
+	Device library.Device
+	// Replicas is the number of replica cell instances ("$r" copies)
+	// materialized into this part.
+	Replicas int
+}
+
+// Result is the best k-way solution found.
+type Result struct {
+	Parts       []Part
+	Summary     metrics.Solution
+	SourceCells int
+	// Feasible counts complete feasible solutions generated; Failed
+	// counts abandoned attempts.
+	Feasible, Failed int
+	// CostMin/CostMax/CostMean summarize the device cost across the
+	// feasible solutions the randomized search generated — the spread
+	// the best-of-N selection exploits.
+	CostMin, CostMax, CostMean float64
+}
+
+// Partition searches for the minimum-cost feasible k-way partition.
+func Partition(g *hypergraph.Graph, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Library.Validate(); err != nil {
+		return Result{}, err
+	}
+	if g.NumCells() == 0 {
+		return Result{}, errors.New("kway: empty circuit")
+	}
+	// Solution attempts are independent; run them on a bounded worker
+	// pool and pick the winner in index order, which keeps the search
+	// deterministic regardless of scheduling.
+	type attempt struct {
+		parts []Part
+		err   error
+	}
+	results := make([]attempt, opts.Solutions)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > opts.Solutions {
+		workers = opts.Solutions
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				seed := opts.Seed + int64(i)*104729
+				parts, err := partitionOnce(g, opts, seed)
+				results[i] = attempt{parts, err}
+			}
+		}()
+	}
+	for i := 0; i < opts.Solutions; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var best Result
+	haveBest := false
+	feasible, failed := 0, 0
+	costMin, costMax, costSum := 0.0, 0.0, 0.0
+	var firstErr error
+	for i := 0; i < opts.Solutions; i++ {
+		if results[i].err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = results[i].err
+			}
+			continue
+		}
+		feasible++
+		parts := results[i].parts
+		remapDevices(parts, opts.Library)
+		res := assemble(g, parts)
+		cost := res.Summary.DeviceCost()
+		if feasible == 1 || cost < costMin {
+			costMin = cost
+		}
+		if cost > costMax {
+			costMax = cost
+		}
+		costSum += cost
+		if !haveBest || res.Summary.Better(best.Summary) {
+			best = res
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		return Result{}, fmt.Errorf("kway: no feasible solution in %d attempts (first failure: %w)", opts.Solutions, firstErr)
+	}
+	best.Feasible = feasible
+	best.Failed = failed
+	best.SourceCells = g.NumCells()
+	best.CostMin, best.CostMax, best.CostMean = costMin, costMax, costSum/float64(feasible)
+	return best, nil
+}
+
+// remapDevices downgrades each part to the cheapest feasible device:
+// a carve targeted at one device's utilization window may fit a
+// cheaper part after FM settles.
+func remapDevices(parts []Part, lib library.Library) {
+	for i := range parts {
+		area := parts[i].Graph.TotalArea()
+		terms := parts[i].Graph.NumTerminals()
+		if d, ok := lib.CheapestFit(area, terms); ok && d.Price < parts[i].Device.Price {
+			parts[i].Device = d
+		}
+	}
+}
+
+func assemble(g *hypergraph.Graph, parts []Part) Result {
+	res := Result{Parts: parts, SourceCells: g.NumCells()}
+	for _, p := range parts {
+		res.Summary.Parts = append(res.Summary.Parts, metrics.Part{
+			Device:          p.Device,
+			CLBs:            p.Graph.TotalArea(),
+			Terminals:       p.Graph.NumTerminals(),
+			Cells:           p.Graph.NumCells(),
+			ReplicatedCells: p.Replicas,
+		})
+	}
+	return res
+}
+
+// partitionOnce builds one complete k-way solution or fails.
+func partitionOnce(g *hypergraph.Graph, opts Options, seed int64) ([]Part, error) {
+	r := rand.New(rand.NewSource(seed))
+	queue := []*hypergraph.Graph{g}
+	var parts []Part
+	guard := 0
+	for len(queue) > 0 {
+		guard++
+		if guard > 4*g.NumCells()+64 {
+			return nil, fmt.Errorf("kway: recursion guard tripped (seed %d)", seed)
+		}
+		sub := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		if dev, ok := opts.Library.CheapestFit(sub.TotalArea(), sub.NumTerminals()); ok {
+			parts = append(parts, Part{Graph: sub, Device: dev, Replicas: countReplicas(sub)})
+			continue
+		}
+		carved, rest, dev, err := carve(sub, opts, r)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, Part{Graph: carved, Device: dev, Replicas: countReplicas(carved)})
+		queue = append(queue, rest)
+	}
+	return parts, nil
+}
+
+// carve splits off one device-sized block from sub. It tries several
+// (device, fill, seed) combinations and returns the first whose carved
+// block satisfies its host device's terminal constraint.
+func carve(sub *hypergraph.Graph, opts Options, r *rand.Rand) (carved, rest *hypergraph.Graph, dev library.Device, err error) {
+	total := sub.TotalArea()
+	devices := opts.Library.Devices
+	var lastErr error
+	maxFit := 1
+	for _, d := range devices {
+		if m := d.MaxCLBs(); m > maxFit && d.MinCLBs() < total {
+			maxFit = m
+		}
+	}
+	// want is the carve-size goal; terminal overflows scale it down
+	// proportionally (a smaller carve inherits fewer terminals and a
+	// smaller cut) and switch the carve objective from pure cut to
+	// t_P0 (terminal pressure).
+	want := maxFit
+	termPressure := false
+	termFails := 0
+	for attempt := 0; attempt < opts.Retries; attempt++ {
+		density := float64(sub.NumTerminals()) / float64(total)
+		desired := int((0.85 + 0.15*r.Float64()) * float64(want))
+		if desired >= total {
+			desired = total - 1
+		}
+		if desired < 1 {
+			desired = 1
+		}
+		d, ok := pickDevice(devices, total, desired, density, r, attempt)
+		if !ok {
+			lastErr = fmt.Errorf("kway: no device can carve %d CLBs from %d", desired, total)
+			continue
+		}
+		target := desired
+		if m := d.MaxCLBs(); target > m {
+			target = m
+		}
+		if target >= total {
+			target = total - 1
+		}
+		if target < d.MinCLBs() {
+			lastErr = fmt.Errorf("kway: device %s cannot carve from %d CLBs", d.Name, total)
+			continue
+		}
+		st, res, cerr := carveFM(sub, d, target, total, opts, r.Int63(), termPressure)
+		if cerr != nil {
+			lastErr = cerr
+			continue
+		}
+		_ = res
+		if terms := st.Terminals(0); terms > d.IOBs {
+			lastErr = fmt.Errorf("kway: carve for %s needs %d terminals > %d", d.Name, terms, d.IOBs)
+			termFails++
+			// First failure: switch the FM objective to t_P0 and retry
+			// at the same size. Repeated failures under the terminal
+			// objective: scale the goal to what this device's IOBs
+			// admit at the observed terminal/CLB ratio, with headroom.
+			if termPressure && termFails >= 3 {
+				next := int(0.85 * float64(st.Area(0)) * float64(d.IOBs) / float64(terms))
+				if next < 4 {
+					next = 4
+				}
+				if next < want {
+					want = next
+					termFails = 0
+				}
+			}
+			termPressure = true
+			continue
+		}
+		if st.Area(0) < d.MinCLBs() || st.Area(0) > d.MaxCLBs() {
+			lastErr = fmt.Errorf("kway: carve area %d outside device %s window", st.Area(0), d.Name)
+			continue
+		}
+		c, rst, merr := materialize(sub, st)
+		if merr != nil {
+			lastErr = merr
+			continue
+		}
+		if rst.TotalArea() >= total {
+			lastErr = fmt.Errorf("kway: carve made no progress (replication blow-up)")
+			continue
+		}
+		return c, rst, d, nil
+	}
+	return nil, nil, library.Device{}, fmt.Errorf("kway: all carve attempts failed: %w", lastErr)
+}
+
+// pickDevice selects a host device for a carve of roughly `desired`
+// CLBs: candidates must have a utilization window admitting the
+// desired size (with slack), with a bias toward the largest (cheapest
+// per CLB). Early attempts also filter by terminal pressure — devices
+// whose IOB count cannot plausibly cover a carve at the subcircuit's
+// terminal density are excluded.
+func pickDevice(devices []library.Device, totalArea, desired int, density float64, r *rand.Rand, attempt int) (library.Device, bool) {
+	var cand []library.Device
+	for _, d := range devices {
+		if d.MinCLBs() >= totalArea || d.MinCLBs() > desired {
+			continue
+		}
+		size := desired
+		if m := d.MaxCLBs(); size > m {
+			size = m
+		}
+		if attempt < 2 && float64(d.IOBs) < density*float64(size)*0.8 {
+			continue
+		}
+		cand = append(cand, d)
+	}
+	if len(cand) == 0 {
+		for _, d := range devices {
+			if d.MinCLBs() < totalArea && d.MinCLBs() <= desired {
+				cand = append(cand, d)
+			}
+		}
+	}
+	if len(cand) == 0 {
+		return library.Device{}, false
+	}
+	// Geometric bias toward the tail (largest candidate).
+	idx := len(cand) - 1
+	for idx > 0 && r.Float64() < 0.35+0.1*float64(attempt%3) {
+		idx--
+	}
+	return cand[idx], true
+}
+
+// carveFM runs (replication-)FM with asymmetric bounds: block 0 must
+// land in the device's utilization window, block 1 holds the rest.
+// With pinTerminals, the FM objective becomes t_P0 instead of the cut.
+func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Options, seed int64, pinTerminals bool) (*replication.State, fm.Result, error) {
+	// The carve must stay near its target: without a floor, FM
+	// minimizes the cut by collapsing block 0 to a handful of cells,
+	// which wastes a device per carve.
+	minCarve := d.MinCLBs()
+	if floor := target * 4 / 5; floor > minCarve {
+		minCarve = floor
+	}
+	if minCarve < 1 {
+		minCarve = 1
+	}
+	cfg := fm.Config{
+		MinArea:   [2]int{minCarve, 0},
+		MaxArea:   [2]int{d.MaxCLBs(), total - minCarve},
+		Threshold: opts.Threshold,
+		MaxPasses: opts.MaxPasses,
+		Seed:      seed,
+	}
+	assign := fm.ClusterAssign(sub, seed, target)
+	st, err := replication.NewStatePinned(sub, assign, pinTerminals)
+	if err != nil {
+		return nil, fm.Result{}, err
+	}
+	if st.Area(0) > cfg.MaxArea[0] || st.Area(0) < cfg.MinArea[0] {
+		return nil, fm.Result{}, fmt.Errorf("kway: initial carve area %d outside [%d,%d]", st.Area(0), cfg.MinArea[0], cfg.MaxArea[0])
+	}
+	res, err := fm.Run(st, cfg)
+	if err != nil {
+		return nil, fm.Result{}, err
+	}
+	return st, res, nil
+}
+
+// materialize splits the bipartitioned state into two standalone
+// subcircuits.
+func materialize(sub *hypergraph.Graph, st *replication.State) (*hypergraph.Graph, *hypergraph.Graph, error) {
+	cut := func(n hypergraph.NetID) bool { return st.CutNet(n) }
+	a, err := sub.Subcircuit(sub.Name+".0", st.InstanceSpecs(0), cut)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := sub.Subcircuit(sub.Name+".1", st.InstanceSpecs(1), cut)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// countReplicas counts replica instances (cells whose names carry the
+// "$r" suffix added at materialization).
+func countReplicas(g *hypergraph.Graph) int {
+	n := 0
+	for i := range g.Cells {
+		if strings.HasSuffix(g.Cells[i].Name, "$r") || strings.Contains(g.Cells[i].Name, "$r$") {
+			n++
+		}
+	}
+	return n
+}

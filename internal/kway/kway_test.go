@@ -1,0 +1,309 @@
+package kway
+
+import (
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/fm"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/library"
+)
+
+func testCircuit(t testing.TB, cells int, seed int64) *hypergraph.Graph {
+	t.Helper()
+	g, err := bench.Generate(bench.Params{
+		Name: "kwaytest", Cells: cells, PrimaryIn: 12, PrimaryOut: 8,
+		Seed: seed, Clustering: 0.55,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func opts(threshold int, solutions int) Options {
+	return Options{
+		Library:   library.XC3000(),
+		Threshold: threshold,
+		Solutions: solutions,
+		Seed:      1,
+	}
+}
+
+func TestPartitionSingleDeviceFit(t *testing.T) {
+	g := testCircuit(t, 40, 1)
+	res, err := Partition(g, opts(fm.NoReplication, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.K() != 1 {
+		t.Fatalf("k = %d, want 1 (fits one XC3020)", res.Summary.K())
+	}
+	if res.Parts[0].Device.Name != "XC3020" {
+		t.Fatalf("device = %s, want XC3020", res.Parts[0].Device.Name)
+	}
+	if !res.Summary.Feasible() {
+		t.Fatal("solution reported infeasible")
+	}
+}
+
+func TestPartitionMultiDevice(t *testing.T) {
+	g := testCircuit(t, 400, 2)
+	res, err := Partition(g, opts(fm.NoReplication, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.K() < 2 {
+		t.Fatalf("k = %d, want ≥ 2 for 400 CLBs", res.Summary.K())
+	}
+	if !res.Summary.Feasible() {
+		t.Fatalf("infeasible solution: %+v", res.Summary)
+	}
+	// Every part graph is valid and matches its summary row.
+	for i, p := range res.Parts {
+		if err := p.Graph.Validate(); err != nil {
+			t.Fatalf("part %d invalid: %v", i, err)
+		}
+		if p.Graph.TotalArea() != res.Summary.Parts[i].CLBs {
+			t.Fatalf("part %d area mismatch", i)
+		}
+		if p.Graph.NumTerminals() > p.Device.IOBs {
+			t.Fatalf("part %d: %d terminals > %d IOBs of %s",
+				i, p.Graph.NumTerminals(), p.Device.IOBs, p.Device.Name)
+		}
+		u := p.Device.Utilization(p.Graph.TotalArea())
+		if u < p.Device.LowUtil-1e-9 || u > p.Device.HighUtil+1e-9 {
+			t.Fatalf("part %d: utilization %.2f outside [%.2f,%.2f] on %s",
+				i, u, p.Device.LowUtil, p.Device.HighUtil, p.Device.Name)
+		}
+	}
+}
+
+// Without replication, the parts exactly cover the source cells.
+func TestPartitionNoReplicationConservesCells(t *testing.T) {
+	g := testCircuit(t, 400, 3)
+	res, err := Partition(g, opts(fm.NoReplication, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.TotalCells() != g.NumCells() {
+		t.Fatalf("cells = %d, want %d", res.Summary.TotalCells(), g.NumCells())
+	}
+	if res.Summary.ReplicatedCells() != 0 {
+		t.Fatalf("replicas = %d, want 0", res.Summary.ReplicatedCells())
+	}
+	// Every source cell appears in exactly one part.
+	seen := map[string]int{}
+	for _, p := range res.Parts {
+		for i := range p.Graph.Cells {
+			seen[p.Graph.Cells[i].Name]++
+		}
+	}
+	if len(seen) != g.NumCells() {
+		t.Fatalf("distinct cells = %d, want %d", len(seen), g.NumCells())
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %s appears %d times", name, n)
+		}
+	}
+}
+
+func TestPartitionWithReplicationAccounting(t *testing.T) {
+	g := testCircuit(t, 400, 4)
+	res, err := Partition(g, opts(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Summary.Feasible() {
+		t.Fatal("infeasible")
+	}
+	// Instances = source cells + replicas.
+	if res.Summary.TotalCells() != g.NumCells()+res.Summary.ReplicatedCells() {
+		t.Fatalf("instances %d != %d source + %d replicas",
+			res.Summary.TotalCells(), g.NumCells(), res.Summary.ReplicatedCells())
+	}
+	// Replication should stay moderate (paper: ≤ ~10%).
+	if pct := res.Summary.ReplicatedPct(g.NumCells()); pct > 25 {
+		t.Fatalf("replicated %.1f%% of cells, suspiciously high", pct)
+	}
+}
+
+// The paper's Table VII claim, in aggregate: replication reduces the
+// average IOB utilization at equal-or-better cost on most circuits.
+func TestReplicationReducesInterconnectAggregate(t *testing.T) {
+	var baseIOB, replIOB float64
+	var baseCost, replCost float64
+	for seed := int64(0); seed < 3; seed++ {
+		g := testCircuit(t, 350, 20+seed)
+		o := opts(fm.NoReplication, 6)
+		o.Seed = seed
+		base, err := Partition(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Threshold = 0
+		repl, err := Partition(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseIOB += base.Summary.AvgIOBUtil()
+		replIOB += repl.Summary.AvgIOBUtil()
+		baseCost += base.Summary.DeviceCost()
+		replCost += repl.Summary.DeviceCost()
+	}
+	t.Logf("avg IOB util: base=%.3f repl=%.3f; cost base=%.0f repl=%.0f",
+		baseIOB/3, replIOB/3, baseCost, replCost)
+	if replIOB > baseIOB*1.05 {
+		t.Fatalf("replication increased interconnect: %.3f vs %.3f", replIOB, baseIOB)
+	}
+	if replCost > baseCost*1.15 {
+		t.Fatalf("replication exploded cost: %.0f vs %.0f", replCost, baseCost)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	g := testCircuit(t, 30, 5)
+	if _, err := Partition(g, Options{}); err == nil {
+		t.Fatal("empty library should fail")
+	}
+	empty := &hypergraph.Graph{Name: "empty"}
+	if _, err := Partition(empty, opts(fm.NoReplication, 1)); err == nil {
+		t.Fatal("empty circuit should fail")
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := testCircuit(t, 200, 6)
+	a, err := Partition(g, opts(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, opts(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary.DeviceCost() != b.Summary.DeviceCost() || a.Summary.K() != b.Summary.K() {
+		t.Fatalf("nondeterministic: %v vs %v", a.Summary, b.Summary)
+	}
+}
+
+func TestPartitionInfeasibleLibrary(t *testing.T) {
+	g := testCircuit(t, 200, 7)
+	// A library whose only device demands ≥ 90% utilization of 1000
+	// CLBs can never host 200 CLBs, and carving can't help.
+	lib, err := library.Custom(library.Device{
+		Name: "BIG", CLBs: 1000, IOBs: 10, Price: 1, LowUtil: 0.9, HighUtil: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Partition(g, Options{Library: lib, Solutions: 2, Seed: 1}); err == nil {
+		t.Fatal("expected failure for impossible library")
+	}
+}
+
+func TestCountReplicas(t *testing.T) {
+	b := hypergraph.NewBuilder("r")
+	pi := b.InputNet("pi")
+	o1 := b.OutputNet("o1")
+	o2 := b.OutputNet("o2")
+	o3 := b.OutputNet("o3")
+	b.AddCell(hypergraph.CellSpec{Name: "u1", Inputs: []hypergraph.NetID{pi}, Outputs: []hypergraph.NetID{o1}})
+	b.AddCell(hypergraph.CellSpec{Name: "u1$r", Inputs: []hypergraph.NetID{pi}, Outputs: []hypergraph.NetID{o2}})
+	b.AddCell(hypergraph.CellSpec{Name: "u1$r$r", Inputs: []hypergraph.NetID{pi}, Outputs: []hypergraph.NetID{o3}})
+	g := b.MustBuild()
+	if got := countReplicas(g); got != 2 {
+		t.Fatalf("countReplicas = %d, want 2", got)
+	}
+}
+
+func TestMoreSolutionsNeverWorse(t *testing.T) {
+	g := testCircuit(t, 300, 8)
+	few, err := Partition(g, opts(fm.NoReplication, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Partition(g, opts(fm.NoReplication, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if few.Summary.Better(many.Summary) {
+		t.Fatalf("more solutions produced a worse result: %v vs %v", many.Summary, few.Summary)
+	}
+}
+
+func TestRemapDevicesPicksCheapest(t *testing.T) {
+	lib := library.XC3000()
+	g := testCircuit(t, 40, 11)
+	big, _ := lib.ByName("XC3090")
+	parts := []Part{{Graph: g, Device: big}}
+	remapDevices(parts, lib)
+	if parts[0].Device.Name != "XC3020" {
+		t.Fatalf("remap chose %s, want XC3020 for %d CLBs", parts[0].Device.Name, g.TotalArea())
+	}
+	// Infeasible-anywhere parts keep their device.
+	tiny, _ := library.Custom(library.Device{Name: "nano", CLBs: 2, IOBs: 1, Price: 1, HighUtil: 1})
+	parts[0].Device = big
+	remapDevices(parts, tiny)
+	if parts[0].Device.Name != "XC3090" {
+		t.Fatal("remap should keep the device when nothing fits")
+	}
+}
+
+// The paper's introduction: with a homogeneous library the problem
+// reduces to minimizing the number k of devices. The search must land
+// near the area lower bound.
+func TestHomogeneousLibraryMinimizesDeviceCount(t *testing.T) {
+	g := testCircuit(t, 420, 12)
+	dev := library.Device{Name: "uni", CLBs: 128, IOBs: 140, Price: 100, LowUtil: 0, HighUtil: 0.9}
+	lib, err := library.Homogeneous(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, Options{Library: lib, Threshold: fm.NoReplication, Solutions: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := (g.TotalArea() + dev.MaxCLBs() - 1) / dev.MaxCLBs()
+	if res.Summary.K() < lower {
+		t.Fatalf("k = %d below area lower bound %d", res.Summary.K(), lower)
+	}
+	if res.Summary.K() > lower+2 {
+		t.Fatalf("k = %d far above lower bound %d", res.Summary.K(), lower)
+	}
+	// Cost is exactly k * price.
+	if res.Summary.DeviceCost() != float64(res.Summary.K())*dev.Price {
+		t.Fatal("homogeneous cost should be k x price")
+	}
+}
+
+func TestPartitionXC4000Library(t *testing.T) {
+	g := testCircuit(t, 600, 13)
+	res, err := Partition(g, Options{Library: library.XC4000(), Threshold: 1, Solutions: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Summary.Feasible() {
+		t.Fatalf("infeasible: %v", res.Summary)
+	}
+	for name := range res.Summary.DeviceCounts() {
+		if name[:4] != "XC40" {
+			t.Fatalf("unexpected device %s", name)
+		}
+	}
+}
+
+func TestCostSpreadReported(t *testing.T) {
+	g := testCircuit(t, 400, 14)
+	res, err := Partition(g, opts(1, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostMin <= 0 || res.CostMax < res.CostMin || res.CostMean < res.CostMin || res.CostMean > res.CostMax {
+		t.Fatalf("cost spread inconsistent: min=%g mean=%g max=%g", res.CostMin, res.CostMean, res.CostMax)
+	}
+	if res.Summary.DeviceCost() != res.CostMin {
+		t.Fatalf("best cost %g != min %g", res.Summary.DeviceCost(), res.CostMin)
+	}
+}

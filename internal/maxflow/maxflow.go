@@ -1,0 +1,132 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on small
+// integer-capacity networks. It is the substrate for the optimal
+// replication refinement (Hwang–El Gamal, ICCAD'92 — reference [4] of
+// the paper), which reduces min-cut replication to s-t minimum cut.
+package maxflow
+
+import "fmt"
+
+// Inf is an effectively unbounded capacity.
+const Inf = int64(1) << 60
+
+type edge struct {
+	to  int
+	cap int64
+	rev int // index of the reverse edge in adj[to]
+}
+
+// Graph is a flow network over nodes 0..n-1.
+type Graph struct {
+	adj   [][]edge
+	level []int
+	iter  []int
+}
+
+// New creates a network with n nodes.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]edge, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddNode appends a node and returns its id.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge adds a directed edge with the given capacity.
+func (g *Graph) AddEdge(from, to int, cap int64) {
+	if from < 0 || from >= len(g.adj) || to < 0 || to >= len(g.adj) {
+		panic(fmt.Sprintf("maxflow: edge %d->%d outside graph of %d nodes", from, to, len(g.adj)))
+	}
+	if cap < 0 {
+		panic("maxflow: negative capacity")
+	}
+	g.adj[from] = append(g.adj[from], edge{to: to, cap: cap, rev: len(g.adj[to])})
+	g.adj[to] = append(g.adj[to], edge{to: from, cap: 0, rev: len(g.adj[from]) - 1})
+}
+
+func (g *Graph) bfs(s, t int) bool {
+	g.level = make([]int, len(g.adj))
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := []int{s}
+	g.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[v] {
+			if e.cap > 0 && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[v] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *Graph) dfs(v, t int, f int64) int64 {
+	if v == t {
+		return f
+	}
+	for ; g.iter[v] < len(g.adj[v]); g.iter[v]++ {
+		e := &g.adj[v][g.iter[v]]
+		if e.cap > 0 && g.level[v] < g.level[e.to] {
+			d := g.dfs(e.to, t, min64(f, e.cap))
+			if d > 0 {
+				e.cap -= d
+				g.adj[e.to][e.rev].cap += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes the maximum s-t flow, mutating residual capacities.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	var flow int64
+	for g.bfs(s, t) {
+		g.iter = make([]int, len(g.adj))
+		for {
+			f := g.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+// MinCutSide returns, after MaxFlow, the set of nodes reachable from s
+// in the residual network (the source side of a minimum cut).
+func (g *Graph) MinCutSide(s int) []bool {
+	side := make([]bool, len(g.adj))
+	side[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[v] {
+			if e.cap > 0 && !side[e.to] {
+				side[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return side
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 5)
+	if f := g.MaxFlow(0, 3); f != 2 {
+		t.Fatalf("flow = %d, want 2", f)
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS-style example with max flow 23.
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if f := g.MaxFlow(0, 5); f != 23 {
+		t.Fatalf("flow = %d, want 23", f)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	if f := g.MaxFlow(0, 2); f != 0 {
+		t.Fatalf("flow = %d, want 0", f)
+	}
+}
+
+func TestSelfSourceSink(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	if f := g.MaxFlow(0, 0); f != 0 {
+		t.Fatalf("flow = %d", f)
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 1) // bottleneck
+	g.AddEdge(2, 3, 10)
+	if f := g.MaxFlow(0, 3); f != 1 {
+		t.Fatalf("flow = %d", f)
+	}
+	side := g.MinCutSide(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Fatalf("cut side = %v, want {0,1}", side)
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(1)
+	a := g.AddNode()
+	b := g.AddNode()
+	g.AddEdge(0, a, 2)
+	g.AddEdge(a, b, 1)
+	if g.N() != 3 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if f := g.MaxFlow(0, b); f != 1 {
+		t.Fatalf("flow = %d", f)
+	}
+}
+
+func TestInfCapacity(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, Inf)
+	g.AddEdge(1, 2, 7)
+	if f := g.MaxFlow(0, 2); f != 7 {
+		t.Fatalf("flow = %d", f)
+	}
+}
+
+// Property: max-flow equals the capacity of the cut returned by
+// MinCutSide on random networks (max-flow/min-cut theorem).
+func TestPropertyFlowEqualsCutCapacity(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 6 + r.Intn(10)
+		type e struct {
+			from, to int
+			cap      int64
+		}
+		var edges []e
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				continue
+			}
+			c := int64(1 + r.Intn(9))
+			edges = append(edges, e{a, b, c})
+			g.AddEdge(a, b, c)
+		}
+		s, tt := 0, n-1
+		flow := g.MaxFlow(s, tt)
+		side := g.MinCutSide(s)
+		if side[tt] {
+			if flow != 0 {
+				t.Fatalf("seed %d: sink reachable but flow %d", seed, flow)
+			}
+			continue
+		}
+		var cutCap int64
+		for _, ed := range edges {
+			if side[ed.from] && !side[ed.to] {
+				cutCap += ed.cap
+			}
+		}
+		if cutCap != flow {
+			t.Fatalf("seed %d: flow %d != cut capacity %d", seed, flow, cutCap)
+		}
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := New(2)
+	for _, f := range []func(){
+		func() { g.AddEdge(-1, 0, 1) },
+		func() { g.AddEdge(0, 5, 1) },
+		func() { g.AddEdge(0, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

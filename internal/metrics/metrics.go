@@ -1,0 +1,144 @@
+// Package metrics implements the two objective functions of Kužnar et
+// al. (DAC'94): total device cost $k = Σ d_i·n_i (Eq. 1) and the
+// interconnect measure λ_k = Σ_j t_Pj / Σ_i t_i·n_i, the average IOB
+// utilization over the devices of a k-way partition (Eq. 2), plus the
+// average CLB utilization reported in Table V.
+package metrics
+
+import (
+	"fmt"
+
+	"fpgapart/internal/library"
+)
+
+// Part summarizes one partition P_j of a k-way solution together with
+// the device that implements it.
+type Part struct {
+	Device          library.Device
+	CLBs            int // CLBs assigned, including replicas absorbed by the device
+	Terminals       int // t_Pj: IOBs used (primary I/O nets + cut nets touching P_j)
+	Cells           int // cell instances placed in the partition
+	ReplicatedCells int // instances that are replicas of cells placed elsewhere
+}
+
+// CLBUtil returns the CLB utilization of the part on its device.
+func (p Part) CLBUtil() float64 { return float64(p.CLBs) / float64(p.Device.CLBs) }
+
+// IOBUtil returns the terminal utilization of the part on its device.
+func (p Part) IOBUtil() float64 { return float64(p.Terminals) / float64(p.Device.IOBs) }
+
+// Feasible reports whether the part satisfies its device's size and
+// terminal constraints.
+func (p Part) Feasible() bool { return p.Device.Fits(p.CLBs, p.Terminals) }
+
+// Solution is a k-way partition summary.
+type Solution struct {
+	Parts []Part
+}
+
+// K returns the number of partitions.
+func (s Solution) K() int { return len(s.Parts) }
+
+// DeviceCost evaluates Eq. (1): the summed price of all devices used.
+func (s Solution) DeviceCost() float64 {
+	c := 0.0
+	for _, p := range s.Parts {
+		c += p.Device.Price
+	}
+	return c
+}
+
+// AvgIOBUtil evaluates Eq. (2): Σ t_Pj / Σ t_i over the devices used.
+func (s Solution) AvgIOBUtil() float64 {
+	used, avail := 0, 0
+	for _, p := range s.Parts {
+		used += p.Terminals
+		avail += p.Device.IOBs
+	}
+	if avail == 0 {
+		return 0
+	}
+	return float64(used) / float64(avail)
+}
+
+// AvgCLBUtil returns Σ CLBs assigned / Σ CLB capacity (Table V metric).
+func (s Solution) AvgCLBUtil() float64 {
+	used, avail := 0, 0
+	for _, p := range s.Parts {
+		used += p.CLBs
+		avail += p.Device.CLBs
+	}
+	if avail == 0 {
+		return 0
+	}
+	return float64(used) / float64(avail)
+}
+
+// TotalCells returns the number of cell instances across all parts
+// (greater than the source circuit's cell count when replication ran).
+func (s Solution) TotalCells() int {
+	n := 0
+	for _, p := range s.Parts {
+		n += p.Cells
+	}
+	return n
+}
+
+// ReplicatedCells returns the number of replica instances.
+func (s Solution) ReplicatedCells() int {
+	n := 0
+	for _, p := range s.Parts {
+		n += p.ReplicatedCells
+	}
+	return n
+}
+
+// ReplicatedPct returns the percentage of original cells that were
+// replicated, given the source circuit's cell count (Table IV metric).
+func (s Solution) ReplicatedPct(sourceCells int) float64 {
+	if sourceCells == 0 {
+		return 0
+	}
+	return 100 * float64(s.ReplicatedCells()) / float64(sourceCells)
+}
+
+// Feasible reports whether every part fits its device.
+func (s Solution) Feasible() bool {
+	for _, p := range s.Parts {
+		if !p.Feasible() {
+			return false
+		}
+	}
+	return len(s.Parts) > 0
+}
+
+// DeviceCounts returns n_i per device name, the multiset of devices the
+// solution buys.
+func (s Solution) DeviceCounts() map[string]int {
+	m := make(map[string]int)
+	for _, p := range s.Parts {
+		m[p.Device.Name]++
+	}
+	return m
+}
+
+// Better reports whether s is preferable to t under the paper's
+// lexicographic objective: lower device cost first (Eq. 1), then lower
+// average IOB utilization (Eq. 2).
+func (s Solution) Better(t Solution) bool {
+	cs, ct := s.DeviceCost(), t.DeviceCost()
+	const eps = 1e-9
+	if cs < ct-eps {
+		return true
+	}
+	if cs > ct+eps {
+		return false
+	}
+	return s.AvgIOBUtil() < t.AvgIOBUtil()
+}
+
+// String renders a compact one-line summary.
+func (s Solution) String() string {
+	return fmt.Sprintf("k=%d cost=%.0f clb=%.0f%% iob=%.0f%%",
+		s.K(), s.DeviceCost(), 100*s.AvgCLBUtil(), 100*s.AvgIOBUtil())
+}

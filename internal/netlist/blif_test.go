@@ -1,0 +1,285 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const blifFullAdder = `# a full adder
+.model fa
+.inputs a b cin
+.outputs s cout
+.names a b cin s
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+
+func TestReadBLIFFullAdder(t *testing.T) {
+	n, err := ReadBLIF(strings.NewReader(blifFullAdder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "fa" || len(n.Gates) != 2 {
+		t.Fatalf("parsed %+v", n)
+	}
+	for v := 0; v < 8; v++ {
+		a, b, cin := v&1 == 1, v&2 == 2, v&4 == 4
+		out, err := Evaluate(n, map[string]bool{"a": a, "b": b, "cin": cin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := a != b != cin
+		carry := (a && b) || (cin && (a != b))
+		if out["s"] != sum || out["cout"] != carry {
+			t.Fatalf("v=%d: got %v want s=%v cout=%v", v, out, sum, carry)
+		}
+	}
+}
+
+func TestReadBLIFLatch(t *testing.T) {
+	src := `.model sr
+.inputs d
+.outputs q
+.latch d q re clk 0
+.end
+`
+	n, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumDFF() != 1 {
+		t.Fatalf("dffs = %d", n.NumDFF())
+	}
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := sim.Step(map[string]bool{"d": true})
+	if out["q"] {
+		t.Fatal("latch should delay one cycle")
+	}
+	out, _ = sim.Step(map[string]bool{"d": false})
+	if !out["q"] {
+		t.Fatal("latch lost the stored value")
+	}
+}
+
+func TestReadBLIFConstants(t *testing.T) {
+	src := `.model k
+.inputs a
+.outputs one zero y
+.names one
+1
+.names zero
+.names a one y
+11 1
+.end
+`
+	n, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Evaluate(n, map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out["one"] || out["zero"] || !out["y"] {
+		t.Fatalf("constants wrong: %v", out)
+	}
+}
+
+func TestReadBLIFOffSetCover(t *testing.T) {
+	// Off-set rows (output column 0) define where the function is 0.
+	src := `.model inv
+.inputs a
+.outputs y
+.names a y
+1 0
+.end
+`
+	n, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := Evaluate(n, map[string]bool{"a": true})
+	if out["y"] {
+		t.Fatal("off-set cover mis-parsed")
+	}
+	out, _ = Evaluate(n, map[string]bool{"a": false})
+	if !out["y"] {
+		t.Fatal("off-set cover mis-parsed (complement)")
+	}
+}
+
+func TestReadBLIFContinuation(t *testing.T) {
+	src := ".model c\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+	n, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Inputs) != 2 {
+		t.Fatalf("inputs = %v", n.Inputs)
+	}
+}
+
+func TestReadBLIFErrors(t *testing.T) {
+	cases := map[string]string{
+		"no model":      ".inputs a\n.end\n",
+		"bad directive": ".model m\n.foo\n.end\n",
+		"stray row":     ".model m\n.inputs a\n11 1\n.end\n",
+		"bad row width": ".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end\n",
+		"mixed cover":   ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n",
+		"bad latch":     ".model m\n.inputs a\n.outputs y\n.latch a\n.end\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadBLIF(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// Property: WriteBLIF -> ReadBLIF preserves behavior on random
+// sequential circuits.
+func TestPropertyBLIFRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		n, err := Random(RandomParams{Gates: 80, Inputs: 6, Outputs: 4, DffFrac: 0.2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBLIF(&buf, n); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadBLIF(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, buf.String())
+		}
+		s1, err := NewSimulator(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := NewSimulator(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		for cyc := 0; cyc < 10; cyc++ {
+			in := map[string]bool{}
+			for _, pi := range n.Inputs {
+				in[pi] = r.Intn(2) == 1
+			}
+			o1, err1 := s1.Step(in)
+			o2, err2 := s2.Step(in)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			for k := range o1 {
+				if o1[k] != o2[k] {
+					t.Fatalf("seed %d cycle %d: %s differs", seed, cyc, k)
+				}
+			}
+		}
+	}
+}
+
+// LUT gates survive the native text format too.
+func TestTextFormatLutRoundTrip(t *testing.T) {
+	n := &Netlist{
+		Name: "l", Inputs: []string{"a", "b"}, Outputs: []string{"y"},
+		Gates: []Gate{{Name: "g_y", Type: Lut, Out: "y", Ins: []string{"a", "b"}, TT: []bool{false, true, true, false}}},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Evaluate(back, map[string]bool{"a": true, "b": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out["y"] {
+		t.Fatal("xor LUT lost through text round trip")
+	}
+}
+
+func TestLutValidation(t *testing.T) {
+	n := &Netlist{
+		Name: "bad", Inputs: []string{"a"}, Outputs: []string{"y"},
+		Gates: []Gate{{Name: "g", Type: Lut, Out: "y", Ins: []string{"a"}, TT: []bool{true}}},
+	}
+	if err := n.Validate(); err == nil {
+		t.Fatal("short truth table should fail")
+	}
+	n.Gates[0].TT = nil
+	n.Gates[0].Type = And
+	n.Gates[0].Ins = []string{"a", "a"}
+	n.Gates[0].TT = []bool{true}
+	if err := n.Validate(); err == nil {
+		t.Fatal("truth table on non-LUT should fail")
+	}
+}
+
+// A wide BLIF LUT must map correctly through Shannon decomposition.
+func TestWideLutThroughBLIF(t *testing.T) {
+	// 6-input majority-ish function written as a cover.
+	var rows []string
+	for p := 0; p < 64; p++ {
+		ones := 0
+		for b := 0; b < 6; b++ {
+			if p&(1<<uint(b)) != 0 {
+				ones++
+			}
+		}
+		if ones >= 4 {
+			var sb strings.Builder
+			for b := 0; b < 6; b++ {
+				if p&(1<<uint(b)) != 0 {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+			rows = append(rows, sb.String()+" 1")
+		}
+	}
+	src := ".model wide\n.inputs i0 i1 i2 i3 i4 i5\n.outputs y\n.names i0 i1 i2 i3 i4 i5 y\n" +
+		strings.Join(rows, "\n") + "\n.end\n"
+	n, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		in := map[string]bool{}
+		ones := 0
+		for b := 0; b < 6; b++ {
+			v := r.Intn(2) == 1
+			in["i"+string(rune('0'+b))] = v
+			if v {
+				ones++
+			}
+		}
+		out, err := Evaluate(n, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["y"] != (ones >= 4) {
+			t.Fatalf("trial %d: majority wrong", trial)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package netlist
+
+import "fmt"
+
+// Structured circuit generators: real arithmetic and sequential
+// netlists in the spirit of the ISCAS benchmarks (c6288 is an array
+// multiplier). They give the mapper and partitioner inputs with real
+// logic structure, and their behavior is checked against Go integer
+// arithmetic in the tests.
+
+// RippleAdder builds an n-bit ripple-carry adder: inputs a0..a{n-1},
+// b0..b{n-1}, cin; outputs s0..s{n-1}, cout.
+func RippleAdder(n int) (*Netlist, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("netlist: adder width %d", n)
+	}
+	nl := &Netlist{Name: fmt.Sprintf("add%d", n)}
+	for i := 0; i < n; i++ {
+		nl.Inputs = append(nl.Inputs, fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		nl.Inputs = append(nl.Inputs, fmt.Sprintf("b%d", i))
+	}
+	nl.Inputs = append(nl.Inputs, "cin")
+	carry := "cin"
+	for i := 0; i < n; i++ {
+		carry = fullAdderInto(nl, fmt.Sprintf("fa%d", i),
+			fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i), carry, fmt.Sprintf("s%d", i))
+		nl.Outputs = append(nl.Outputs, fmt.Sprintf("s%d", i))
+	}
+	// Promote the last carry to the cout output via a buffer.
+	nl.Gates = append(nl.Gates, Gate{Name: "gcout", Type: Buf, Out: "cout", Ins: []string{carry}})
+	nl.Outputs = append(nl.Outputs, "cout")
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// fullAdderInto emits sum and returns the carry-out net.
+func fullAdderInto(nl *Netlist, prefix, a, b, cin, sum string) string {
+	ab := prefix + "_ab"
+	t1 := prefix + "_t1"
+	t2 := prefix + "_t2"
+	cout := prefix + "_c"
+	nl.Gates = append(nl.Gates,
+		Gate{Name: prefix + "_x1", Type: Xor, Out: ab, Ins: []string{a, b}},
+		Gate{Name: prefix + "_x2", Type: Xor, Out: sum, Ins: []string{ab, cin}},
+		Gate{Name: prefix + "_a1", Type: And, Out: t1, Ins: []string{a, b}},
+		Gate{Name: prefix + "_a2", Type: And, Out: t2, Ins: []string{ab, cin}},
+		Gate{Name: prefix + "_o1", Type: Or, Out: cout, Ins: []string{t1, t2}},
+	)
+	return cout
+}
+
+// ArrayMultiplier builds an n×n-bit array multiplier (the c6288
+// structure): inputs a0.., b0..; outputs p0..p{2n-1}.
+func ArrayMultiplier(n int) (*Netlist, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("netlist: multiplier width %d", n)
+	}
+	nl := &Netlist{Name: fmt.Sprintf("mul%d", n)}
+	for i := 0; i < n; i++ {
+		nl.Inputs = append(nl.Inputs, fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		nl.Inputs = append(nl.Inputs, fmt.Sprintf("b%d", i))
+	}
+	// Partial products pp[i][j] = a_i AND b_j.
+	pp := make([][]string, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]string, n)
+		for j := 0; j < n; j++ {
+			net := fmt.Sprintf("pp%d_%d", i, j)
+			nl.Gates = append(nl.Gates, Gate{
+				Name: "g" + net, Type: And, Out: net,
+				Ins: []string{fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", j)},
+			})
+			pp[i][j] = net
+		}
+	}
+	// Column-wise carry-save reduction with full/half adders.
+	cols := make([][]string, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cols[i+j] = append(cols[i+j], pp[i][j])
+		}
+	}
+	fresh := 0
+	tmp := func(kind string) string {
+		fresh++
+		return fmt.Sprintf("%s%d", kind, fresh)
+	}
+	for c := 0; c < 2*n; c++ {
+		for len(cols[c]) > 1 {
+			if len(cols[c]) >= 3 {
+				a, b, ci := cols[c][0], cols[c][1], cols[c][2]
+				cols[c] = cols[c][3:]
+				s := tmp("ms")
+				co := fullAdderInto(nl, tmp("mfa"), a, b, ci, s)
+				cols[c] = append(cols[c], s)
+				if c+1 < 2*n {
+					cols[c+1] = append(cols[c+1], co)
+				}
+			} else {
+				a, b := cols[c][0], cols[c][1]
+				cols[c] = cols[c][2:]
+				s, co := tmp("hs"), tmp("hc")
+				nl.Gates = append(nl.Gates,
+					Gate{Name: "g" + s, Type: Xor, Out: s, Ins: []string{a, b}},
+					Gate{Name: "g" + co, Type: And, Out: co, Ins: []string{a, b}},
+				)
+				cols[c] = append(cols[c], s)
+				if c+1 < 2*n {
+					cols[c+1] = append(cols[c+1], co)
+				}
+			}
+		}
+	}
+	for c := 0; c < 2*n; c++ {
+		out := fmt.Sprintf("p%d", c)
+		if len(cols[c]) == 1 {
+			nl.Gates = append(nl.Gates, Gate{Name: "g" + out, Type: Buf, Out: out, Ins: []string{cols[c][0]}})
+		} else {
+			// Top column can be empty for n = 1.
+			nl.Gates = append(nl.Gates, Gate{Name: "g" + out, Type: Xor, Out: out, Ins: []string{pp[0][0], pp[0][0]}})
+		}
+		nl.Outputs = append(nl.Outputs, out)
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// Counter builds an n-bit synchronous binary counter with enable:
+// input en; outputs q0..q{n-1}. Each cycle with en=1 increments.
+func Counter(n int) (*Netlist, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("netlist: counter width %d", n)
+	}
+	nl := &Netlist{Name: fmt.Sprintf("cnt%d", n), Inputs: []string{"en"}}
+	// carry chain: c0 = en; ci+1 = ci AND qi; di = qi XOR ci.
+	carry := "en"
+	for i := 0; i < n; i++ {
+		q := fmt.Sprintf("q%d", i)
+		d := fmt.Sprintf("d%d", i)
+		nl.Gates = append(nl.Gates,
+			Gate{Name: "gx" + q, Type: Xor, Out: d, Ins: []string{q, carry}},
+			Gate{Name: "ff" + q, Type: Dff, Out: q, Ins: []string{d}},
+		)
+		if i < n-1 {
+			nc := fmt.Sprintf("c%d", i+1)
+			nl.Gates = append(nl.Gates, Gate{Name: "ga" + q, Type: And, Out: nc, Ins: []string{carry, q}})
+			carry = nc
+		}
+		nl.Outputs = append(nl.Outputs, q)
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// LFSR builds an n-bit Fibonacci linear feedback shift register with
+// taps at the final and first stage (x^n + x + 1 style): input seedIn
+// (ORed into the feedback so the register can leave the all-zero
+// state); outputs q0..q{n-1}.
+func LFSR(n int) (*Netlist, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("netlist: LFSR width %d", n)
+	}
+	nl := &Netlist{Name: fmt.Sprintf("lfsr%d", n), Inputs: []string{"seedIn"}}
+	fb := "fb"
+	nl.Gates = append(nl.Gates,
+		Gate{Name: "gfb0", Type: Xor, Out: "fbx", Ins: []string{fmt.Sprintf("q%d", n-1), "q0"}},
+		Gate{Name: "gfb1", Type: Or, Out: fb, Ins: []string{"fbx", "seedIn"}},
+	)
+	prev := fb
+	for i := 0; i < n; i++ {
+		q := fmt.Sprintf("q%d", i)
+		nl.Gates = append(nl.Gates, Gate{Name: "ff" + q, Type: Dff, Out: q, Ins: []string{prev}})
+		prev = q
+		nl.Outputs = append(nl.Outputs, q)
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// ALUSlice builds a w-bit mini-ALU: op selects between ADD (op=0) and
+// bitwise AND/XOR combinations; inputs a*, b*, op0, op1; outputs y*.
+// The selection logic gives the mapper multi-output cones with shared
+// and private inputs.
+func ALUSlice(w int) (*Netlist, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("netlist: ALU width %d", w)
+	}
+	nl := &Netlist{Name: fmt.Sprintf("alu%d", w), Inputs: []string{"op0", "op1"}}
+	for i := 0; i < w; i++ {
+		nl.Inputs = append(nl.Inputs, fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < w; i++ {
+		nl.Inputs = append(nl.Inputs, fmt.Sprintf("b%d", i))
+	}
+	// ADD path.
+	carry := "op1" // borrow op1 as carry-in for variety
+	for i := 0; i < w; i++ {
+		carry = fullAdderInto(nl, fmt.Sprintf("afa%d", i),
+			fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i), carry, fmt.Sprintf("sum%d", i))
+	}
+	for i := 0; i < w; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		and := fmt.Sprintf("and%d", i)
+		xor := fmt.Sprintf("xr%d", i)
+		nl.Gates = append(nl.Gates,
+			Gate{Name: "g" + and, Type: And, Out: and, Ins: []string{a, b}},
+			Gate{Name: "g" + xor, Type: Xor, Out: xor, Ins: []string{a, b}},
+		)
+		// y = op0 ? (op1 ? and : xor) : sum   via AND-OR selection.
+		selA := fmt.Sprintf("sa%d", i)
+		selX := fmt.Sprintf("sx%d", i)
+		selS := fmt.Sprintf("ss%d", i)
+		nop0 := fmt.Sprintf("n0_%d", i)
+		y := fmt.Sprintf("y%d", i)
+		nl.Gates = append(nl.Gates,
+			Gate{Name: "g" + nop0, Type: Not, Out: nop0, Ins: []string{"op0"}},
+			Gate{Name: "g" + selA, Type: And, Out: selA, Ins: []string{"op0", "op1", and}},
+			Gate{Name: "g" + selX, Type: And, Out: selX, Ins: []string{"op0", fmt.Sprintf("n1_%d", i), xor}},
+			Gate{Name: "gn1_" + fmt.Sprint(i), Type: Not, Out: fmt.Sprintf("n1_%d", i), Ins: []string{"op1"}},
+			Gate{Name: "g" + selS, Type: And, Out: selS, Ins: []string{nop0, fmt.Sprintf("sum%d", i)}},
+			Gate{Name: "g" + y, Type: Or, Out: y, Ins: []string{selA, selX, selS}},
+		)
+		nl.Outputs = append(nl.Outputs, y)
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}

@@ -1,0 +1,241 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func setBits(prefix string, w int, v uint64, in map[string]bool) {
+	for i := 0; i < w; i++ {
+		in[fmt.Sprintf("%s%d", prefix, i)] = v&(1<<uint(i)) != 0
+	}
+}
+
+func getBits(prefix string, w int, out map[string]bool) uint64 {
+	var v uint64
+	for i := 0; i < w; i++ {
+		if out[fmt.Sprintf("%s%d", prefix, i)] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Property: the ripple adder computes a+b+cin for all widths 1..8.
+func TestRippleAdderMatchesArithmetic(t *testing.T) {
+	for w := 1; w <= 8; w++ {
+		add, err := RippleAdder(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimulator(add)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(w)))
+		for trial := 0; trial < 40; trial++ {
+			a := r.Uint64() & (1<<uint(w) - 1)
+			b := r.Uint64() & (1<<uint(w) - 1)
+			cin := r.Intn(2)
+			in := map[string]bool{"cin": cin == 1}
+			setBits("a", w, a, in)
+			setBits("b", w, b, in)
+			out, err := sim.Step(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := getBits("s", w, out)
+			if out["cout"] {
+				got |= 1 << uint(w)
+			}
+			if want := a + b + uint64(cin); got != want {
+				t.Fatalf("w=%d: %d+%d+%d = %d, want %d", w, a, b, cin, got, want)
+			}
+		}
+	}
+}
+
+// Property: the array multiplier computes a*b.
+func TestArrayMultiplierMatchesArithmetic(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, 6} {
+		mul, err := ArrayMultiplier(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimulator(mul)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(w) * 31))
+		for trial := 0; trial < 40; trial++ {
+			a := r.Uint64() & (1<<uint(w) - 1)
+			b := r.Uint64() & (1<<uint(w) - 1)
+			in := map[string]bool{}
+			setBits("a", w, a, in)
+			setBits("b", w, b, in)
+			out, err := sim.Step(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := getBits("p", 2*w, out), a*b; got != want {
+				t.Fatalf("w=%d: %d*%d = %d, want %d", w, a, b, got, want)
+			}
+		}
+	}
+}
+
+// Property (quick): 8-bit multiplication is correct on random inputs.
+func TestPropertyMultiplier8(t *testing.T) {
+	mul, err := ArrayMultiplier(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(mul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		in := map[string]bool{}
+		setBits("a", 8, uint64(a), in)
+		setBits("b", 8, uint64(b), in)
+		out, err := sim.Step(in)
+		if err != nil {
+			return false
+		}
+		return getBits("p", 16, out) == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The counter counts: after k enabled cycles the outputs read k mod 2^n.
+func TestCounterCounts(t *testing.T) {
+	const w = 5
+	cnt, err := Counter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := uint64(0)
+	for cyc := 0; cyc < 70; cyc++ {
+		en := cyc%3 != 0 // hold every third cycle
+		out, err := sim.Step(map[string]bool{"en": en})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := getBits("q", w, out); got != val {
+			t.Fatalf("cycle %d: count = %d, want %d", cyc, got, val)
+		}
+		if en {
+			val = (val + 1) & (1<<w - 1)
+		}
+	}
+}
+
+// The LFSR leaves the zero state under seedIn and then cycles without
+// repeating immediately.
+func TestLFSRProgresses(t *testing.T) {
+	l, err := LFSR(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One seed pulse, then free-run.
+	if _, err := sim.Step(map[string]bool{"seedIn": true}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	prev := uint64(0)
+	for cyc := 0; cyc < 30; cyc++ {
+		out, err := sim.Step(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := getBits("q", 6, out)
+		if cyc > 2 && v == prev {
+			t.Fatalf("cycle %d: LFSR stuck at %d", cyc, v)
+		}
+		prev = v
+		seen[v] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("LFSR visited only %d states", len(seen))
+	}
+}
+
+// ALU: op0=0 -> a+b+op1; op0=1,op1=1 -> AND; op0=1,op1=0 -> XOR.
+func TestALUSliceOps(t *testing.T) {
+	const w = 4
+	alu, err := ALUSlice(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(alu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		a := r.Uint64() & 0xF
+		b := r.Uint64() & 0xF
+		op0 := r.Intn(2) == 1
+		op1 := r.Intn(2) == 1
+		in := map[string]bool{"op0": op0, "op1": op1}
+		setBits("a", w, a, in)
+		setBits("b", w, b, in)
+		out, err := sim.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want uint64
+		switch {
+		case !op0 && !op1:
+			want = (a + b) & 0xF
+		case !op0 && op1:
+			want = (a + b + 1) & 0xF
+		case op0 && op1:
+			want = a & b
+		default:
+			want = a ^ b
+		}
+		if got := getBits("y", w, out); got != want {
+			t.Fatalf("a=%d b=%d op0=%v op1=%v: y=%d, want %d", a, b, op0, op1, got, want)
+		}
+	}
+}
+
+func TestGeneratorsRejectBadWidths(t *testing.T) {
+	if _, err := RippleAdder(0); err == nil {
+		t.Error("adder width 0")
+	}
+	if _, err := ArrayMultiplier(0); err == nil {
+		t.Error("multiplier width 0")
+	}
+	if _, err := Counter(0); err == nil {
+		t.Error("counter width 0")
+	}
+	if _, err := LFSR(1); err == nil {
+		t.Error("LFSR width 1")
+	}
+	if _, err := ALUSlice(0); err == nil {
+		t.Error("ALU width 0")
+	}
+}
+
+func TestMultiplierSizeGrowsQuadratically(t *testing.T) {
+	m4, _ := ArrayMultiplier(4)
+	m8, _ := ArrayMultiplier(8)
+	if len(m8.Gates) < 3*len(m4.Gates) {
+		t.Fatalf("8-bit multiplier (%d gates) should be much larger than 4-bit (%d)",
+			len(m8.Gates), len(m4.Gates))
+	}
+}

@@ -1,0 +1,44 @@
+package netlist
+
+// Depth returns the maximum combinational depth: the longest
+// gate-count path from a primary input or flip-flop output to a
+// primary output or flip-flop input. Buffers and inverters count like
+// any other gate; a circuit whose outputs alias inputs has depth 0.
+func (n *Netlist) Depth() (int, error) {
+	drivers, err := n.DriverIndex()
+	if err != nil {
+		return 0, err
+	}
+	order, err := n.topoOrder(drivers)
+	if err != nil {
+		return 0, err
+	}
+	level := make(map[string]int, len(n.Gates))
+	depthOf := func(net string) int {
+		if d, ok := level[net]; ok {
+			return d
+		}
+		return 0 // primary input or flip-flop output
+	}
+	max := 0
+	for _, gi := range order {
+		g := &n.Gates[gi]
+		if g.Type == Dff {
+			continue
+		}
+		d := 0
+		for _, in := range g.Ins {
+			if v := depthOf(in); v > d {
+				d = v
+			}
+		}
+		d++
+		level[g.Out] = d
+		if d > max {
+			max = d
+		}
+	}
+	// Flip-flop inputs terminate paths too; they are already covered
+	// because every gate contributes to max when levelled.
+	return max, nil
+}

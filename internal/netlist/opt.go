@@ -1,0 +1,247 @@
+package netlist
+
+import "fmt"
+
+// Optimize returns a behavior-equivalent netlist with buffers swept,
+// constants propagated (including LUT cofactoring) and gates that fold
+// to aliases removed. Primary outputs keep their names via inserted
+// buffers or constant LUTs where needed.
+func Optimize(n *Netlist) (*Netlist, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	drivers, err := n.DriverIndex()
+	if err != nil {
+		return nil, err
+	}
+	order, err := n.topoOrder(drivers)
+	if err != nil {
+		return nil, err
+	}
+
+	type binding struct {
+		isConst bool
+		value   bool
+		alias   string // non-empty: this net equals another net
+	}
+	bind := make(map[string]binding)
+	resolve := func(net string) (string, *binding) {
+		for {
+			b, ok := bind[net]
+			if !ok {
+				return net, nil
+			}
+			if b.isConst {
+				return net, &b
+			}
+			net = b.alias
+		}
+	}
+
+	out := &Netlist{
+		Name:    n.Name,
+		Inputs:  append([]string(nil), n.Inputs...),
+		Outputs: append([]string(nil), n.Outputs...),
+	}
+
+	emitGate := func(g Gate) { out.Gates = append(out.Gates, g) }
+
+	simplify := func(g *Gate) {
+		// Resolve inputs: split into constants and live nets.
+		var live []string
+		var consts []bool
+		for _, in := range g.Ins {
+			root, b := resolve(in)
+			if b != nil {
+				consts = append(consts, b.value)
+			} else {
+				live = append(live, root)
+			}
+		}
+		setConst := func(v bool) { bind[g.Out] = binding{isConst: true, value: v} }
+		setAlias := func(to string) { bind[g.Out] = binding{alias: to} }
+
+		switch g.Type {
+		case Buf:
+			if len(live) == 0 {
+				setConst(consts[0])
+			} else {
+				setAlias(live[0])
+			}
+		case Not:
+			if len(live) == 0 {
+				setConst(!consts[0])
+			} else {
+				emitGate(Gate{Name: g.Name, Type: Not, Out: g.Out, Ins: live})
+			}
+		case And, Nand:
+			inv := g.Type == Nand
+			for _, c := range consts {
+				if !c {
+					setConst(inv)
+					return
+				}
+			}
+			switch len(live) {
+			case 0:
+				setConst(!inv)
+			case 1:
+				if inv {
+					emitGate(Gate{Name: g.Name, Type: Not, Out: g.Out, Ins: live})
+				} else {
+					setAlias(live[0])
+				}
+			default:
+				emitGate(Gate{Name: g.Name, Type: g.Type, Out: g.Out, Ins: live})
+			}
+		case Or, Nor:
+			inv := g.Type == Nor
+			for _, c := range consts {
+				if c {
+					setConst(!inv) // a true input dominates an OR
+					return
+				}
+			}
+			switch len(live) {
+			case 0:
+				setConst(inv)
+			case 1:
+				if inv {
+					emitGate(Gate{Name: g.Name, Type: Not, Out: g.Out, Ins: live})
+				} else {
+					setAlias(live[0])
+				}
+			default:
+				emitGate(Gate{Name: g.Name, Type: g.Type, Out: g.Out, Ins: live})
+			}
+		case Xor, Xnor:
+			parity := g.Type == Xnor
+			for _, c := range consts {
+				if c {
+					parity = !parity
+				}
+			}
+			switch len(live) {
+			case 0:
+				setConst(parity)
+			case 1:
+				if parity {
+					emitGate(Gate{Name: g.Name, Type: Not, Out: g.Out, Ins: live})
+				} else {
+					setAlias(live[0])
+				}
+			default:
+				t := Xor
+				if parity {
+					t = Xnor
+				}
+				emitGate(Gate{Name: g.Name, Type: t, Out: g.Out, Ins: live})
+			}
+		case Lut:
+			tt := append([]bool(nil), g.TT...)
+			var keepIns []string
+			// Cofactor constant inputs one at a time, low bit first.
+			bit := 0
+			for _, in := range g.Ins {
+				root, b := resolve(in)
+				if b == nil {
+					keepIns = append(keepIns, root)
+					bit++
+					continue
+				}
+				next := make([]bool, len(tt)/2)
+				for i := range next {
+					lo := i & (1<<uint(bit) - 1)
+					hi := (i >> uint(bit)) << uint(bit+1)
+					idx := hi | lo
+					if b.value {
+						idx |= 1 << uint(bit)
+					}
+					next[i] = tt[idx]
+				}
+				tt = next
+			}
+			switch {
+			case len(keepIns) == 0:
+				setConst(tt[0])
+			case allEqualInputDrop(tt):
+				// Constant function of live inputs.
+				setConst(tt[0])
+			default:
+				emitGate(Gate{Name: g.Name, Type: Lut, Out: g.Out, Ins: keepIns, TT: tt})
+			}
+		default:
+			panic(fmt.Sprintf("netlist: optimize of %v", g.Type))
+		}
+	}
+
+	for _, gi := range order {
+		simplify(&n.Gates[gi])
+	}
+	// Flip-flops keep their structure; only their inputs resolve.
+	// A flip-flop with a constant input converges to that constant
+	// after one cycle, but its first-cycle value is 0 — keep it as a
+	// register to preserve cycle-exact behavior.
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		if g.Type != Dff {
+			continue
+		}
+		root, b := resolve(g.Ins[0])
+		if b != nil {
+			cname := "_opt_c_" + g.Out
+			emitGate(Gate{Name: "g" + cname, Type: Lut, Out: cname, Ins: nil, TT: []bool{b.value}})
+			root = cname
+		}
+		emitGate(Gate{Name: g.Name, Type: Dff, Out: g.Out, Ins: []string{root}})
+	}
+	// Rewire all surviving gate inputs through the bindings.
+	for gi := range out.Gates {
+		g := &out.Gates[gi]
+		for i, in := range g.Ins {
+			root, b := resolve(in)
+			if b != nil {
+				cname := "_opt_k_" + g.Name + "_" + fmt.Sprint(i)
+				emitGate(Gate{Name: "g" + cname, Type: Lut, Out: cname, Ins: nil, TT: []bool{b.value}})
+				root = cname
+			}
+			g.Ins[i] = root
+		}
+	}
+	// Primary outputs whose driver folded away need explicit drivers.
+	driven := make(map[string]bool, len(out.Gates))
+	for gi := range out.Gates {
+		driven[out.Gates[gi].Out] = true
+	}
+	for _, pi := range n.Inputs {
+		driven[pi] = true
+	}
+	for _, po := range n.Outputs {
+		if driven[po] {
+			continue
+		}
+		root, b := resolve(po)
+		if b != nil {
+			emitGate(Gate{Name: "g_opt_" + po, Type: Lut, Out: po, Ins: nil, TT: []bool{b.value}})
+		} else if root != po {
+			emitGate(Gate{Name: "g_opt_" + po, Type: Buf, Out: po, Ins: []string{root}})
+		} else {
+			return nil, fmt.Errorf("netlist: optimize lost driver of output %q", po)
+		}
+		driven[po] = true
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: optimize produced invalid circuit: %w", err)
+	}
+	return out, nil
+}
+
+// allEqualInputDrop reports a truth table constant over its domain.
+func allEqualInputDrop(tt []bool) bool {
+	for _, v := range tt {
+		if v != tt[0] {
+			return false
+		}
+	}
+	return true
+}

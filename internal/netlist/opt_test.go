@@ -1,0 +1,229 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOptimizeSweepsBuffers(t *testing.T) {
+	n := &Netlist{
+		Name: "bufs", Inputs: []string{"a"}, Outputs: []string{"y"},
+		Gates: []Gate{
+			{Name: "b1", Type: Buf, Out: "w1", Ins: []string{"a"}},
+			{Name: "b2", Type: Buf, Out: "w2", Ins: []string{"w1"}},
+			{Name: "inv", Type: Not, Out: "y", Ins: []string{"w2"}},
+		},
+	}
+	o, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Gates) != 1 || o.Gates[0].Type != Not || o.Gates[0].Ins[0] != "a" {
+		t.Fatalf("buffer chain not swept: %+v", o.Gates)
+	}
+}
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	n := &Netlist{
+		Name: "konst", Inputs: []string{"a"}, Outputs: []string{"y", "z"},
+		Gates: []Gate{
+			{Name: "one", Type: Lut, Out: "one", Ins: nil, TT: []bool{true}},
+			{Name: "g1", Type: And, Out: "w", Ins: []string{"a", "one"}}, // = a
+			{Name: "g2", Type: Or, Out: "y", Ins: []string{"w", "one"}},  // = 1
+			{Name: "g3", Type: Xor, Out: "z", Ins: []string{"a", "one"}}, // = !a
+		},
+	}
+	o, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 2; v++ {
+		in := map[string]bool{"a": v == 1}
+		want, err := Evaluate(n, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Evaluate(o, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got["y"] != want["y"] || got["z"] != want["z"] {
+			t.Fatalf("a=%v: got %v want %v", v == 1, got, want)
+		}
+	}
+	// z must now be a single Not of a.
+	var nots, others int
+	for _, g := range o.Gates {
+		if g.Type == Not {
+			nots++
+		} else {
+			others++
+		}
+	}
+	if nots != 1 {
+		t.Fatalf("expected one inverter, gates: %+v", o.Gates)
+	}
+}
+
+func TestOptimizeLutCofactor(t *testing.T) {
+	// y = LUT(a, one, b) where the middle input is constant true.
+	tt := make([]bool, 8)
+	for i := range tt {
+		a := i&1 != 0
+		m := i&2 != 0
+		b := i&4 != 0
+		tt[i] = (a && m) != b
+	}
+	n := &Netlist{
+		Name: "cof", Inputs: []string{"a", "b"}, Outputs: []string{"y"},
+		Gates: []Gate{
+			{Name: "one", Type: Lut, Out: "one", Ins: nil, TT: []bool{true}},
+			{Name: "g", Type: Lut, Out: "y", Ins: []string{"a", "one", "b"}, TT: tt},
+		},
+	}
+	o, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		in := map[string]bool{"a": v&1 != 0, "b": v&2 != 0}
+		want, _ := Evaluate(n, in)
+		got, err := Evaluate(o, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got["y"] != want["y"] {
+			t.Fatalf("v=%d mismatch", v)
+		}
+	}
+	// The LUT must have shrunk to two inputs.
+	for _, g := range o.Gates {
+		if g.Type == Lut && g.Out == "y" && len(g.Ins) != 2 {
+			t.Fatalf("cofactor did not shrink: %+v", g)
+		}
+	}
+}
+
+func TestOptimizeConstantPO(t *testing.T) {
+	n := &Netlist{
+		Name: "cpo", Inputs: []string{"a"}, Outputs: []string{"y"},
+		Gates: []Gate{
+			{Name: "z", Type: Lut, Out: "zero", Ins: nil, TT: []bool{false}},
+			{Name: "g", Type: And, Out: "y", Ins: []string{"a", "zero"}},
+		},
+	}
+	o, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Evaluate(o, map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["y"] {
+		t.Fatal("constant-0 output wrong")
+	}
+}
+
+func TestOptimizeAliasedPO(t *testing.T) {
+	n := &Netlist{
+		Name: "apo", Inputs: []string{"a"}, Outputs: []string{"y"},
+		Gates: []Gate{{Name: "b", Type: Buf, Out: "y", Ins: []string{"a"}}},
+	}
+	o, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Evaluate(o, map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["y"] {
+		t.Fatal("aliased output lost")
+	}
+}
+
+func TestOptimizeKeepsDFFSemantics(t *testing.T) {
+	// q starts at 0 even when its input is constant 1.
+	n := &Netlist{
+		Name: "dffc", Inputs: []string{"a"}, Outputs: []string{"q", "y"},
+		Gates: []Gate{
+			{Name: "one", Type: Lut, Out: "one", Ins: nil, TT: []bool{true}},
+			{Name: "ff", Type: Dff, Out: "q", Ins: []string{"one"}},
+			{Name: "g", Type: And, Out: "y", Ins: []string{"a", "q"}},
+		},
+	}
+	o, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := NewSimulator(n)
+	s2, err := NewSimulator(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cyc := 0; cyc < 3; cyc++ {
+		w, _ := s1.Step(map[string]bool{"a": true})
+		g, err := s2.Step(map[string]bool{"a": true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w["q"] != g["q"] || w["y"] != g["y"] {
+			t.Fatalf("cycle %d: %v vs %v", cyc, g, w)
+		}
+	}
+}
+
+// Property: Optimize preserves sequential behavior on random circuits
+// seeded with constants and buffers.
+func TestPropertyOptimizeEquivalent(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		n, err := Random(RandomParams{Gates: 100, Inputs: 8, Outputs: 5, DffFrac: 0.15, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Splice in constant feeders for extra folding opportunities.
+		n.Gates = append(n.Gates,
+			Gate{Name: "konst1", Type: Lut, Out: "_k1", Ins: nil, TT: []bool{true}},
+			Gate{Name: "konst0", Type: Lut, Out: "_k0", Ins: nil, TT: []bool{false}},
+			Gate{Name: "kmix", Type: And, Out: "_km", Ins: []string{"_k1", n.Inputs[0]}},
+			Gate{Name: "kuse", Type: Or, Out: "_ku", Ins: []string{"_km", "_k0"}},
+		)
+		n.Outputs = append(n.Outputs, "_ku")
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		o, err := Optimize(n)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(o.Gates) > len(n.Gates) {
+			t.Fatalf("seed %d: optimization grew the netlist %d -> %d", seed, len(n.Gates), len(o.Gates))
+		}
+		s1, err := NewSimulator(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := NewSimulator(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		for cyc := 0; cyc < 8; cyc++ {
+			in := map[string]bool{}
+			for _, pi := range n.Inputs {
+				in[pi] = r.Intn(2) == 1
+			}
+			w, err1 := s1.Step(in)
+			g, err2 := s2.Step(in)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			for k := range w {
+				if g[k] != w[k] {
+					t.Fatalf("seed %d cycle %d: %s differs", seed, cyc, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomParams controls random gate-level circuit generation.
+type RandomParams struct {
+	Name    string
+	Gates   int
+	Inputs  int
+	Outputs int
+	DffFrac float64 // fraction of gates that are flip-flops
+	Seed    int64
+	// Window bounds connection locality (0 = global). Default 60.
+	Window int
+}
+
+// Random generates a valid random gate-level netlist: a DAG of logic
+// gates with windowed locality plus flip-flops whose inputs may close
+// sequential (never combinational) cycles.
+func Random(p RandomParams) (*Netlist, error) {
+	if p.Gates < 1 || p.Inputs < 2 {
+		return nil, fmt.Errorf("netlist: Random needs ≥1 gate and ≥2 inputs (got %d, %d)", p.Gates, p.Inputs)
+	}
+	if p.Window == 0 {
+		p.Window = 60
+	}
+	if p.Name == "" {
+		p.Name = fmt.Sprintf("rand%d", p.Seed)
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	n := &Netlist{Name: p.Name}
+	nets := make([]string, 0, p.Inputs+p.Gates)
+	for i := 0; i < p.Inputs; i++ {
+		pi := fmt.Sprintf("pi%d", i)
+		n.Inputs = append(n.Inputs, pi)
+		nets = append(nets, pi)
+	}
+	combTypes := []GateType{And, Or, Nand, Nor, Xor, Xnor, Not, Buf}
+	pick := func() string {
+		off := r.Intn(p.Window)
+		if off >= len(nets) {
+			off = r.Intn(len(nets))
+		}
+		return nets[len(nets)-1-off]
+	}
+	for gi := 0; gi < p.Gates; gi++ {
+		out := fmt.Sprintf("n%d", gi)
+		if r.Float64() < p.DffFrac {
+			n.Gates = append(n.Gates, Gate{Name: fmt.Sprintf("ff%d", gi), Type: Dff, Out: out, Ins: []string{pick()}})
+		} else {
+			t := combTypes[r.Intn(len(combTypes))]
+			lo, _ := t.MaxFanin()
+			k := lo
+			if lo == 2 {
+				k = 2 + r.Intn(3)
+			}
+			ins := make([]string, k)
+			for i := range ins {
+				ins[i] = pick()
+			}
+			n.Gates = append(n.Gates, Gate{Name: fmt.Sprintf("g%d", gi), Type: t, Out: out, Ins: ins})
+		}
+		nets = append(nets, out)
+	}
+	// Flip-flop feedback: rewire a few flip-flop inputs to later nets
+	// (sequential loops are legal).
+	for gi := range n.Gates {
+		if n.Gates[gi].Type == Dff && r.Float64() < 0.3 {
+			n.Gates[gi].Ins[0] = nets[p.Inputs+r.Intn(p.Gates)]
+		}
+	}
+	// Primary outputs: the last nets plus any requested extras.
+	want := p.Outputs
+	if want < 1 {
+		want = 1
+	}
+	seen := make(map[string]bool)
+	for i := len(nets) - 1; i >= 0 && len(n.Outputs) < want; i-- {
+		if !seen[nets[i]] && i >= p.Inputs {
+			seen[nets[i]] = true
+			n.Outputs = append(n.Outputs, nets[i])
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: Random produced invalid circuit: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,122 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text format (".gnl") is line oriented:
+//
+//	# comment
+//	circuit adder4
+//	input a0 a1 b0 b1
+//	output s0 s1 cout
+//	xor  s0   a0 b0
+//	and  c0   a0 b0
+//	dff  q1   d1
+//
+// Each gate line is: <type> <output-net> <input-net>...
+
+// Write serializes the netlist.
+func Write(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", n.Name)
+	if len(n.Inputs) > 0 {
+		fmt.Fprintf(bw, "input %s\n", strings.Join(n.Inputs, " "))
+	}
+	if len(n.Outputs) > 0 {
+		fmt.Fprintf(bw, "output %s\n", strings.Join(n.Outputs, " "))
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Type == Lut {
+			var sb strings.Builder
+			for _, v := range g.TT {
+				if v {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+			fmt.Fprintf(bw, "%s %s %s @%s\n", g.Type, g.Out, strings.Join(g.Ins, " "), sb.String())
+			continue
+		}
+		fmt.Fprintf(bw, "%s %s %s\n", g.Type, g.Out, strings.Join(g.Ins, " "))
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format. Gate names are synthesized from the
+// output net ("g_<out>") since the format identifies gates by the net
+// they drive.
+func Read(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	n := &Netlist{}
+	lineNo := 0
+	sawCircuit := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if sawCircuit {
+				return nil, fmt.Errorf("netlist: line %d: duplicate circuit line", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist: line %d: want 'circuit <name>'", lineNo)
+			}
+			n.Name = fields[1]
+			sawCircuit = true
+		case "input":
+			n.Inputs = append(n.Inputs, fields[1:]...)
+		case "output":
+			n.Outputs = append(n.Outputs, fields[1:]...)
+		default:
+			t, ok := ParseGateType(fields[0])
+			if !ok {
+				return nil, fmt.Errorf("netlist: line %d: unknown gate type %q", lineNo, fields[0])
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("netlist: line %d: gate needs an output and operands", lineNo)
+			}
+			g := Gate{Name: "g_" + fields[1], Type: t, Out: fields[1]}
+			rest := fields[2:]
+			if t == Lut {
+				if len(rest) == 0 || !strings.HasPrefix(rest[len(rest)-1], "@") {
+					return nil, fmt.Errorf("netlist: line %d: lut gate needs a trailing @<truth-table>", lineNo)
+				}
+				bits := strings.TrimPrefix(rest[len(rest)-1], "@")
+				rest = rest[:len(rest)-1]
+				g.TT = make([]bool, len(bits))
+				for i, ch := range bits {
+					switch ch {
+					case '0':
+					case '1':
+						g.TT[i] = true
+					default:
+						return nil, fmt.Errorf("netlist: line %d: bad truth-table digit %q", lineNo, ch)
+					}
+				}
+			}
+			g.Ins = append([]string(nil), rest...)
+			n.Gates = append(n.Gates, g)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	if !sawCircuit {
+		return nil, fmt.Errorf("netlist: missing 'circuit' line")
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,237 @@
+package replication
+
+// Optimal min-cut functional replication via maximum flow — the
+// refinement the paper points to in its conclusion ("combining this
+// approach with techniques in [4] may potentially reduce the size of
+// the cut even further"; [4] is Hwang & El Gamal, "Optimal Replication
+// for Min-Cut Partitioning", ICCAD'92).
+//
+// Given a bipartition, consider pulling individual *outputs* of
+// unreplicated cells from one block into the other (the receiving copy
+// keeps exactly the inputs its outputs depend on — functional
+// replication). For every net e introduce two binary variables:
+// Ye = "the target block uses e after the pull" and Ze = "the source
+// block no longer uses e". The resulting cut size is Σ_e [Ye ∧ ¬Ze],
+// and all the implications between pulled outputs and net usage are
+// monotone, so the minimum over all pull sets is an s-t minimum cut /
+// maximum flow. Unlike the FM pass, which moves one cell at a time,
+// this solves the whole replication subset exactly (for one direction
+// and ignoring area, exactly the relaxation [4] studies).
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/maxflow"
+)
+
+// PullOptions configures OptimalPull.
+type PullOptions struct {
+	// Radius restricts candidates to cells within this many hops of a
+	// cut net (default 3); 0 means every unreplicated cell of the
+	// source block is a candidate.
+	Radius int
+	// MaxExtraArea caps the area added to the target block by new
+	// copies; negative means unlimited. If the optimal pull set
+	// exceeds the budget nothing is applied.
+	MaxExtraArea int
+}
+
+// PullResult reports what OptimalPull did.
+type PullResult struct {
+	Applied             bool
+	Predicted           int // min-cut value from the flow network
+	CutBefore, CutAfter int
+	PulledOutputs       int
+	ReplicatedCells     int // cells that gained a second copy
+	MovedCells          int // cells whose every output was pulled
+	ExtraArea           int // area added to the target block
+}
+
+// OptimalPull computes and (area permitting) applies the optimal
+// functional-replication pull from block `from` into the other block.
+func OptimalPull(st *State, from Block, opts PullOptions) (PullResult, error) {
+	if from > 1 {
+		return PullResult{}, fmt.Errorf("replication: invalid block %d", from)
+	}
+	if opts.Radius == 0 {
+		opts.Radius = 3
+	}
+	to := from.Other()
+	res := PullResult{CutBefore: st.CutSize(), CutAfter: st.CutSize()}
+
+	cand := st.pullCandidates(from, opts.Radius)
+	if len(cand) == 0 {
+		res.Predicted = res.CutBefore
+		return res, nil
+	}
+
+	// ---- Build the flow network ----------------------------------------
+	g := maxflow.New(2)
+	const s, t = 0, 1
+	// One node per candidate output.
+	outNode := make(map[hypergraph.CellID][]int, len(cand))
+	isCand := make(map[hypergraph.CellID]bool, len(cand))
+	for _, c := range cand {
+		isCand[c] = true
+		m := len(st.g.Cells[c].Outputs)
+		nodes := make([]int, m)
+		for o := 0; o < m; o++ {
+			nodes[o] = g.AddNode()
+		}
+		outNode[c] = nodes
+	}
+	// Two nodes per net: Ye ("target uses e") and Ze ("source freed").
+	ye := make([]int, len(st.g.Nets))
+	ze := make([]int, len(st.g.Nets))
+	for ni := range st.g.Nets {
+		ye[ni] = g.AddNode()
+		ze[ni] = g.AddNode()
+		g.AddEdge(ze[ni], ye[ni], 1) // the cut cost [Ye ∧ ¬Ze]
+	}
+
+	for ni := range st.g.Nets {
+		net := &st.g.Nets[ni]
+		// Candidates live in the source block, so cnt[to] is entirely
+		// fixed usage (including the virtual terminal connection of
+		// pinned states, which sits in block 1).
+		usedTo := st.cnt[ni][to] > 0
+		// The virtual terminal connection can never be pulled.
+		usedFromFixed := st.extPin && net.Ext != hypergraph.Internal && from == 1
+		for _, cn := range net.Conns {
+			active := false
+			var outsMask uint32
+			if cn.Out {
+				outsMask = 1 << uint(cn.Pin)
+				active = st.own[cn.Cell][from]&outsMask != 0
+			} else {
+				outsMask = st.col[cn.Cell][cn.Pin]
+				active = st.own[cn.Cell][from]&outsMask != 0
+			}
+			if !active {
+				continue
+			}
+			if !isCand[cn.Cell] {
+				usedFromFixed = true
+				continue
+			}
+			// Candidate connection: each relevant output o pulls this
+			// net's target usage up and blocks the source release.
+			mask := outsMask & st.own[cn.Cell][from]
+			for mask != 0 {
+				o := bits.TrailingZeros32(mask)
+				mask &^= 1 << uint(o)
+				x := outNode[cn.Cell][o]
+				g.AddEdge(ye[ni], x, maxflow.Inf) // Ye ≥ x
+				g.AddEdge(x, ze[ni], maxflow.Inf) // Ze ⇒ x pulled
+			}
+		}
+		if usedTo {
+			g.AddEdge(ye[ni], t, maxflow.Inf) // target side already uses e
+		}
+		if usedFromFixed {
+			g.AddEdge(s, ze[ni], maxflow.Inf) // source usage cannot be freed
+		}
+	}
+
+	flow := g.MaxFlow(s, t)
+	res.Predicted = int(flow)
+	if res.Predicted >= res.CutBefore {
+		return res, nil // no improvement available in this direction
+	}
+	side := g.MinCutSide(s)
+
+	// ---- Extract and apply the pull set --------------------------------
+	type pull struct {
+		cell hypergraph.CellID
+		mask uint32
+	}
+	var pulls []pull
+	extraArea := 0
+	for _, c := range cand {
+		var mask uint32
+		for o, node := range outNode[c] {
+			if !side[node] { // sink side = pulled
+				mask |= 1 << uint(o)
+			}
+		}
+		if mask == 0 {
+			continue
+		}
+		// Both replicas and whole-cell moves grow the target block.
+		extraArea += st.g.Cells[c].Area
+		res.PulledOutputs += bits.OnesCount32(mask)
+		pulls = append(pulls, pull{c, mask})
+	}
+	if opts.MaxExtraArea >= 0 && extraArea > opts.MaxExtraArea {
+		return res, nil
+	}
+	for _, p := range pulls {
+		var m Move
+		if p.mask == st.all[p.cell] {
+			m = Move{Cell: p.cell, Kind: SingleMove}
+			res.MovedCells++
+		} else {
+			m = Move{Cell: p.cell, Kind: Replicate, Carry: p.mask}
+			res.ReplicatedCells++
+		}
+		if _, err := st.Apply(m); err != nil {
+			return res, fmt.Errorf("replication: applying optimal pull: %w", err)
+		}
+	}
+	res.Applied = true
+	res.ExtraArea = extraArea
+	res.CutAfter = st.CutSize()
+	return res, nil
+}
+
+// pullCandidates returns the unreplicated cells of block `from` within
+// radius hops of a cut net.
+func (s *State) pullCandidates(from Block, radius int) []hypergraph.CellID {
+	if radius <= 0 {
+		var out []hypergraph.CellID
+		for ci := range s.g.Cells {
+			c := hypergraph.CellID(ci)
+			if !s.repl[c] && s.home[c] == from {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	dist := make(map[hypergraph.CellID]int)
+	var frontier []hypergraph.CellID
+	for ni := range s.g.Nets {
+		if !s.CutNet(hypergraph.NetID(ni)) {
+			continue
+		}
+		for _, cn := range s.g.Nets[ni].Conns {
+			if _, ok := dist[cn.Cell]; !ok {
+				dist[cn.Cell] = 1
+				frontier = append(frontier, cn.Cell)
+			}
+		}
+	}
+	for d := 1; d < radius && len(frontier) > 0; d++ {
+		var next []hypergraph.CellID
+		for _, c := range frontier {
+			for _, net := range s.g.CellNets(c) {
+				for _, cn := range s.g.Nets[net].Conns {
+					if _, ok := dist[cn.Cell]; !ok {
+						dist[cn.Cell] = d + 1
+						next = append(next, cn.Cell)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	var out []hypergraph.CellID
+	for ci := range s.g.Cells {
+		c := hypergraph.CellID(ci)
+		if _, ok := dist[c]; ok && !s.repl[c] && s.home[c] == from {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package replication
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpgapart/internal/hypergraph"
+)
+
+func TestOptimalPullCrafted(t *testing.T) {
+	st, m := crafted(t)
+	res, err := OptimalPull(st, 0, PullOptions{Radius: 0, MaxExtraArea: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Applied {
+		t.Fatalf("expected an applied pull: %+v", res)
+	}
+	// The FM gain of functionally replicating M is +2 (cut 5 -> 3); the
+	// exact solver must do at least as well.
+	if res.CutAfter > 3 {
+		t.Fatalf("optimal pull cut = %d, want ≤ 3", res.CutAfter)
+	}
+	if res.CutAfter != res.Predicted {
+		t.Fatalf("predicted %d != achieved %d", res.Predicted, res.CutAfter)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+}
+
+func TestOptimalPullNoCandidates(t *testing.T) {
+	st, _ := crafted(t)
+	// Pull from block 1 with a tiny radius still works (candidates near
+	// the cut); radius semantics checked separately.
+	res, err := OptimalPull(st, 1, PullOptions{Radius: 1, MaxExtraArea: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutAfter > res.CutBefore {
+		t.Fatalf("pull worsened cut: %d -> %d", res.CutBefore, res.CutAfter)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalPullAreaBudget(t *testing.T) {
+	st, _ := crafted(t)
+	res, err := OptimalPull(st, 0, PullOptions{Radius: 0, MaxExtraArea: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied {
+		t.Fatal("zero budget must not apply any pull")
+	}
+	if st.CutSize() != res.CutBefore {
+		t.Fatal("state mutated despite rejection")
+	}
+}
+
+func TestOptimalPullInvalidBlock(t *testing.T) {
+	st, _ := crafted(t)
+	if _, err := OptimalPull(st, 2, PullOptions{}); err == nil {
+		t.Fatal("expected error for block 2")
+	}
+}
+
+// Property: on random states the flow prediction exactly matches the
+// achieved cut, the cut never increases, and invariants hold. This
+// cross-validates the entire network construction against the
+// incremental engine.
+func TestPropertyOptimalPullExact(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		st := randomState(t, seed, 70)
+		r := rand.New(rand.NewSource(seed * 3))
+		for i := 0; i < 25; i++ {
+			if _, err := st.Apply(randomMove(r, st)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, from := range []Block{0, 1} {
+			before := st.CutSize()
+			res, err := OptimalPull(st, from, PullOptions{Radius: 0, MaxExtraArea: -1})
+			if err != nil {
+				t.Fatalf("seed %d from %d: %v", seed, from, err)
+			}
+			if res.Predicted > before {
+				t.Fatalf("seed %d from %d: predicted %d > before %d", seed, from, res.Predicted, before)
+			}
+			if res.Applied {
+				if st.CutSize() != res.Predicted {
+					t.Fatalf("seed %d from %d: predicted %d, achieved %d",
+						seed, from, res.Predicted, st.CutSize())
+				}
+				if st.CutSize() > before {
+					t.Fatalf("seed %d from %d: cut increased", seed, from)
+				}
+			} else if st.CutSize() != before {
+				t.Fatalf("seed %d from %d: unapplied pull mutated state", seed, from)
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d from %d: %v", seed, from, err)
+			}
+		}
+	}
+}
+
+// The exact solver can never be beaten by any single functional
+// replication move: property-check against the FM gain oracle.
+func TestPropertyOptimalBeatsGreedy(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		st := randomState(t, seed+50, 60)
+		// Best single replication gain from block 0.
+		bestGain := 0
+		for ci := 0; ci < st.Graph().NumCells(); ci++ {
+			c := hypergraph.CellID(ci)
+			if st.Home(c) != 0 || st.IsReplicated(c) {
+				continue
+			}
+			for _, carry := range st.Splits(c) {
+				if g, err := st.Gain(Move{Cell: c, Kind: Replicate, Carry: carry}); err == nil && g > bestGain {
+					bestGain = g
+				}
+			}
+		}
+		before := st.CutSize()
+		res, err := OptimalPull(st, 0, PullOptions{Radius: 0, MaxExtraArea: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		achieved := before
+		if res.Applied {
+			achieved = res.CutAfter
+		}
+		if achieved > before-bestGain {
+			t.Fatalf("seed %d: optimal %d worse than greedy single move %d",
+				seed, achieved, before-bestGain)
+		}
+	}
+}
+
+func TestOptimalPullRadiusRestricts(t *testing.T) {
+	st := randomState(t, 77, 80)
+	full := st.pullCandidates(0, 0)
+	near := st.pullCandidates(0, 1)
+	if len(near) > len(full) {
+		t.Fatalf("radius 1 candidates (%d) exceed unrestricted (%d)", len(near), len(full))
+	}
+	if len(near) == 0 && st.CutSize() > 0 {
+		t.Fatal("radius 1 found no candidates despite a cut")
+	}
+}

@@ -1,0 +1,659 @@
+// Package replication implements bipartitioning state with functional
+// replication and the unified gain model of Kužnar et al. (DAC'94,
+// Sections II–III).
+//
+// A cell may exist as a single copy in one block, or — after a
+// Replicate move — as two copies, one per block, each owning a disjoint
+// non-empty subset of the cell's outputs. Per the functional
+// replication rule, a copy carrying output set S connects exactly the
+// output nets of S and the input nets adjacent to S; all other pins of
+// that copy are left floating. The cut set is the set of nets with
+// active connections in both blocks.
+//
+// State supports three mutations (single move, functional replication,
+// unreplication), O(pins) exact gain evaluation for each, and full
+// undo, which is what the FM-style engine in package fm needs for its
+// best-prefix rollback.
+package replication
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fpgapart/internal/hypergraph"
+)
+
+// Block identifies one side of a bipartition.
+type Block uint8
+
+// Other returns the opposite block.
+func (b Block) Other() Block { return 1 - b }
+
+// MoveKind enumerates the mutations of Section III.
+type MoveKind uint8
+
+const (
+	// SingleMove relocates an unreplicated cell to the other block.
+	SingleMove MoveKind = iota
+	// Replicate splits an unreplicated cell: a replica in the other
+	// block takes over the outputs in Carry, the original keeps the
+	// rest, and both copies prune inputs per the functional rule.
+	Replicate
+	// Unreplicate merges a replicated cell into block To.
+	Unreplicate
+)
+
+func (k MoveKind) String() string {
+	switch k {
+	case SingleMove:
+		return "move"
+	case Replicate:
+		return "replicate"
+	case Unreplicate:
+		return "unreplicate"
+	}
+	return fmt.Sprintf("MoveKind(%d)", uint8(k))
+}
+
+// Move is one candidate mutation.
+type Move struct {
+	Cell  hypergraph.CellID
+	Kind  MoveKind
+	Carry uint32 // Replicate: output mask taken by the replica
+	To    Block  // Unreplicate: surviving block
+}
+
+func (m Move) String() string {
+	switch m.Kind {
+	case Replicate:
+		return fmt.Sprintf("replicate(cell=%d carry=%b)", m.Cell, m.Carry)
+	case Unreplicate:
+		return fmt.Sprintf("unreplicate(cell=%d to=%d)", m.Cell, m.To)
+	}
+	return fmt.Sprintf("move(cell=%d)", m.Cell)
+}
+
+// MaxOutputs bounds the per-cell output count representable in the
+// ownership masks.
+const MaxOutputs = 32
+
+type trailEntry struct {
+	cell hypergraph.CellID
+	own  [2]uint32
+	home Block
+	repl bool
+}
+
+// State is a bipartition of a hypergraph with functional replication.
+type State struct {
+	g      *hypergraph.Graph
+	extPin bool        // external nets carry a virtual conn in block 1
+	own    [][2]uint32 // per cell: output mask active in each block
+	home   []Block     // block of the original copy
+	repl   []bool
+	all    []uint32   // per cell: mask of all outputs
+	col    [][]uint32 // per cell, per input pin: outputs depending on it
+	psi    []int      // per cell: replication potential ψ (Eq. 4)
+	cnt    [][2]int32 // per net: active connections per block
+	cut    int
+	area   [2]int
+
+	trail []trailEntry
+
+	// scratch buffers for delta accumulation
+	scratchNets  []hypergraph.NetID
+	scratchDelta [][2]int32
+	scratchMark  []int32 // per net: index+1 into scratchNets, 0 = absent
+}
+
+// NewState builds the state for an initial replication-free assignment
+// of every cell to a block. len(assign) must equal the cell count.
+func NewState(g *hypergraph.Graph, assign []Block) (*State, error) {
+	return NewStatePinned(g, assign, false)
+}
+
+// NewStatePinned is NewState with an optional virtual connection in
+// block 1 on every external net. With pinning, a net counts as cut
+// exactly when it demands an IOB in block 0, so CutSize == t_P0 and an
+// FM run minimizes the carved block's terminal count directly — the
+// objective the k-way partitioner's device feasibility check needs.
+func NewStatePinned(g *hypergraph.Graph, assign []Block, pinExternal bool) (*State, error) {
+	n := len(g.Cells)
+	if len(assign) != n {
+		return nil, fmt.Errorf("replication: assignment length %d, want %d cells", len(assign), n)
+	}
+	s := &State{
+		g:           g,
+		extPin:      pinExternal,
+		own:         make([][2]uint32, n),
+		home:        make([]Block, n),
+		repl:        make([]bool, n),
+		all:         make([]uint32, n),
+		col:         make([][]uint32, n),
+		psi:         make([]int, n),
+		cnt:         make([][2]int32, len(g.Nets)),
+		scratchMark: make([]int32, len(g.Nets)),
+	}
+	if pinExternal {
+		for ni := range g.Nets {
+			if g.Nets[ni].Ext != hypergraph.Internal {
+				s.cnt[ni][1]++
+			}
+		}
+	}
+	for ci := range g.Cells {
+		c := &g.Cells[ci]
+		m := len(c.Outputs)
+		if m > MaxOutputs {
+			return nil, fmt.Errorf("replication: cell %q has %d outputs, max %d", c.Name, m, MaxOutputs)
+		}
+		if m == 0 {
+			return nil, fmt.Errorf("replication: cell %q has no outputs", c.Name)
+		}
+		b := assign[ci]
+		if b > 1 {
+			return nil, fmt.Errorf("replication: cell %q assigned to block %d", c.Name, b)
+		}
+		all := uint32(1)<<uint(m) - 1
+		s.all[ci] = all
+		s.home[ci] = b
+		s.own[ci][b] = all
+		s.psi[ci] = c.ReplicationPotential()
+		cols := make([]uint32, len(c.Inputs))
+		for i := 0; i < m; i++ {
+			for j := range c.Inputs {
+				if c.Dep[i].Get(j) {
+					cols[j] |= 1 << uint(i)
+				}
+			}
+		}
+		s.col[ci] = cols
+		s.area[b] += c.Area
+		// Account active connections: all outputs, and inputs adjacent
+		// to at least one output (a dependency-free input pin is
+		// floating by the functional rule even before replication).
+		for _, n := range c.Outputs {
+			s.cnt[n][b]++
+		}
+		for j, n := range c.Inputs {
+			if n != hypergraph.NilNet && cols[j] != 0 {
+				s.cnt[n][b]++
+			}
+		}
+	}
+	for ni := range g.Nets {
+		if s.cnt[ni][0] > 0 && s.cnt[ni][1] > 0 {
+			s.cut++
+		}
+	}
+	return s, nil
+}
+
+// Graph returns the underlying hypergraph.
+func (s *State) Graph() *hypergraph.Graph { return s.g }
+
+// CutSize returns the number of nets with active connections in both
+// blocks.
+func (s *State) CutSize() int { return s.cut }
+
+// Area returns the total cell area active in block b (replicated cells
+// count in both blocks).
+func (s *State) Area(b Block) int { return s.area[b] }
+
+// Home returns the block of the cell's original copy.
+func (s *State) Home(c hypergraph.CellID) Block { return s.home[c] }
+
+// IsReplicated reports whether the cell currently has copies in both
+// blocks.
+func (s *State) IsReplicated(c hypergraph.CellID) bool { return s.repl[c] }
+
+// OutputsIn returns the mask of the cell's outputs produced in block b.
+func (s *State) OutputsIn(c hypergraph.CellID, b Block) uint32 { return s.own[c][b] }
+
+// ActiveIn reports whether the cell has a copy in block b.
+func (s *State) ActiveIn(c hypergraph.CellID, b Block) bool { return s.own[c][b] != 0 }
+
+// Psi returns the cell's replication potential ψ (Eq. 4), cached.
+func (s *State) Psi(c hypergraph.CellID) int { return s.psi[c] }
+
+// CanReplicate reports eligibility for functional replication at
+// threshold T: multi-output and ψ ≥ T (Eq. 6; T = 0 admits ψ = 0
+// multi-output cells, single-output cells never qualify).
+func (s *State) CanReplicate(c hypergraph.CellID, t int) bool {
+	return len(s.g.Cells[c].Outputs) > 1 && s.psi[c] >= t
+}
+
+// ReplicatedCount returns the number of currently replicated cells.
+func (s *State) ReplicatedCount() int {
+	n := 0
+	for _, r := range s.repl {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// CellsIn returns the number of cell copies active in block b.
+func (s *State) CellsIn(b Block) int {
+	n := 0
+	for ci := range s.own {
+		if s.own[ci][b] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// inputActive reports whether input pin j of cell c is connected in
+// block b under ownership mask m.
+func (s *State) inputActive(c hypergraph.CellID, j int, m uint32) bool {
+	return m&s.col[c][j] != 0
+}
+
+// newOwn computes the ownership masks after applying m, validating the
+// move against the current state.
+func (s *State) newOwn(m Move) ([2]uint32, error) {
+	c := m.Cell
+	if int(c) < 0 || int(c) >= len(s.own) {
+		return [2]uint32{}, fmt.Errorf("replication: invalid cell %d", c)
+	}
+	all := s.all[c]
+	switch m.Kind {
+	case SingleMove:
+		if s.repl[c] {
+			return [2]uint32{}, fmt.Errorf("replication: %v: cell is replicated", m)
+		}
+		b := s.home[c]
+		var nw [2]uint32
+		nw[b.Other()] = all
+		return nw, nil
+	case Replicate:
+		if s.repl[c] {
+			return [2]uint32{}, fmt.Errorf("replication: %v: cell is already replicated", m)
+		}
+		if m.Carry == 0 || m.Carry == all || m.Carry&^all != 0 {
+			return [2]uint32{}, fmt.Errorf("replication: %v: carry mask must be a proper non-empty subset of %b", m, all)
+		}
+		b := s.home[c]
+		var nw [2]uint32
+		nw[b] = all &^ m.Carry
+		nw[b.Other()] = m.Carry
+		return nw, nil
+	case Unreplicate:
+		if !s.repl[c] {
+			return [2]uint32{}, fmt.Errorf("replication: %v: cell is not replicated", m)
+		}
+		if m.To > 1 {
+			return [2]uint32{}, fmt.Errorf("replication: %v: invalid block", m)
+		}
+		var nw [2]uint32
+		nw[m.To] = all
+		return nw, nil
+	}
+	return [2]uint32{}, fmt.Errorf("replication: unknown move kind %d", m.Kind)
+}
+
+// accumulateDeltas records, for each distinct net incident to cell c,
+// the change in active connection counts when ownership goes from old
+// to nw. Results land in the scratch buffers; callers must call
+// resetScratch when done.
+func (s *State) accumulateDeltas(c hypergraph.CellID, old, nw [2]uint32) {
+	cell := &s.g.Cells[c]
+	add := func(n hypergraph.NetID, b Block, d int32) {
+		if d == 0 {
+			return
+		}
+		idx := s.scratchMark[n]
+		if idx == 0 {
+			s.scratchNets = append(s.scratchNets, n)
+			s.scratchDelta = append(s.scratchDelta, [2]int32{})
+			idx = int32(len(s.scratchNets))
+			s.scratchMark[n] = idx
+		}
+		s.scratchDelta[idx-1][b] += d
+	}
+	for pi, n := range cell.Outputs {
+		bit := uint32(1) << uint(pi)
+		for b := Block(0); b < 2; b++ {
+			was := old[b]&bit != 0
+			is := nw[b]&bit != 0
+			if was != is {
+				if is {
+					add(n, b, 1)
+				} else {
+					add(n, b, -1)
+				}
+			}
+		}
+	}
+	for pi, n := range cell.Inputs {
+		if n == hypergraph.NilNet {
+			continue
+		}
+		colMask := s.col[c][pi]
+		for b := Block(0); b < 2; b++ {
+			was := old[b]&colMask != 0
+			is := nw[b]&colMask != 0
+			if was != is {
+				if is {
+					add(n, b, 1)
+				} else {
+					add(n, b, -1)
+				}
+			}
+		}
+	}
+}
+
+func (s *State) resetScratch() {
+	for _, n := range s.scratchNets {
+		s.scratchMark[n] = 0
+	}
+	s.scratchNets = s.scratchNets[:0]
+	s.scratchDelta = s.scratchDelta[:0]
+}
+
+// Gain returns the exact cut-size reduction of applying m: positive
+// gains shrink the cut. The state is not modified.
+func (s *State) Gain(m Move) (int, error) {
+	nw, err := s.newOwn(m)
+	if err != nil {
+		return 0, err
+	}
+	old := s.own[m.Cell]
+	s.accumulateDeltas(m.Cell, old, nw)
+	gain := 0
+	for i, n := range s.scratchNets {
+		c0, c1 := s.cnt[n][0], s.cnt[n][1]
+		wasCut := c0 > 0 && c1 > 0
+		n0, n1 := c0+s.scratchDelta[i][0], c1+s.scratchDelta[i][1]
+		isCut := n0 > 0 && n1 > 0
+		if wasCut && !isCut {
+			gain++
+		} else if !wasCut && isCut {
+			gain--
+		}
+	}
+	s.resetScratch()
+	return gain, nil
+}
+
+// MustGain is Gain that panics on invalid moves, for engine internals
+// that already validated candidates.
+func (s *State) MustGain(m Move) int {
+	g, err := s.Gain(m)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// AreaDelta returns the change in block areas (delta0, delta1) that
+// applying m would cause.
+func (s *State) AreaDelta(m Move) (int, int, error) {
+	nw, err := s.newOwn(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	old := s.own[m.Cell]
+	a := s.g.Cells[m.Cell].Area
+	var d [2]int
+	for b := Block(0); b < 2; b++ {
+		was := old[b] != 0
+		is := nw[b] != 0
+		switch {
+		case is && !was:
+			d[b] = a
+		case was && !is:
+			d[b] = -a
+		}
+	}
+	return d[0], d[1], nil
+}
+
+// Token marks a position in the mutation trail for Undo.
+type Token int
+
+// Mark returns a token for the current trail position.
+func (s *State) Mark() Token { return Token(len(s.trail)) }
+
+// Apply commits m and returns a token that undoes it (and anything
+// after it) via Undo.
+func (s *State) Apply(m Move) (Token, error) {
+	nw, err := s.newOwn(m)
+	if err != nil {
+		return 0, err
+	}
+	tok := s.Mark()
+	s.trail = append(s.trail, trailEntry{cell: m.Cell, own: s.own[m.Cell], home: s.home[m.Cell], repl: s.repl[m.Cell]})
+	s.commit(m.Cell, nw)
+	switch m.Kind {
+	case SingleMove:
+		s.home[m.Cell] = s.home[m.Cell].Other()
+	case Replicate:
+		s.repl[m.Cell] = true
+	case Unreplicate:
+		s.repl[m.Cell] = false
+		s.home[m.Cell] = m.To
+	}
+	return tok, nil
+}
+
+// commit switches cell c's ownership to nw, updating net counts, cut
+// size and block areas.
+func (s *State) commit(c hypergraph.CellID, nw [2]uint32) {
+	old := s.own[c]
+	s.accumulateDeltas(c, old, nw)
+	for i, n := range s.scratchNets {
+		c0, c1 := s.cnt[n][0], s.cnt[n][1]
+		wasCut := c0 > 0 && c1 > 0
+		s.cnt[n][0] = c0 + s.scratchDelta[i][0]
+		s.cnt[n][1] = c1 + s.scratchDelta[i][1]
+		isCut := s.cnt[n][0] > 0 && s.cnt[n][1] > 0
+		if wasCut && !isCut {
+			s.cut--
+		} else if !wasCut && isCut {
+			s.cut++
+		}
+	}
+	s.resetScratch()
+	a := s.g.Cells[c].Area
+	for b := Block(0); b < 2; b++ {
+		was := old[b] != 0
+		is := nw[b] != 0
+		switch {
+		case is && !was:
+			s.area[b] += a
+		case was && !is:
+			s.area[b] -= a
+		}
+	}
+	s.own[c] = nw
+}
+
+// Undo rolls the state back to the given token.
+func (s *State) Undo(tok Token) error {
+	if int(tok) < 0 || int(tok) > len(s.trail) {
+		return fmt.Errorf("replication: invalid undo token %d (trail %d)", tok, len(s.trail))
+	}
+	for len(s.trail) > int(tok) {
+		e := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.commit(e.cell, e.own)
+		s.home[e.cell] = e.home
+		s.repl[e.cell] = e.repl
+	}
+	return nil
+}
+
+// Splits returns the candidate carry masks for functionally
+// replicating cell c: every proper non-empty output subset for cells
+// with up to four outputs, singletons and their complements otherwise.
+func (s *State) Splits(c hypergraph.CellID) []uint32 {
+	m := len(s.g.Cells[c].Outputs)
+	if m <= 1 {
+		return nil
+	}
+	all := s.all[c]
+	if m <= 4 {
+		out := make([]uint32, 0, 1<<uint(m)-2)
+		for mask := uint32(1); mask < all; mask++ {
+			out = append(out, mask)
+		}
+		return out
+	}
+	seen := make(map[uint32]bool, 2*m)
+	var out []uint32
+	for i := 0; i < m; i++ {
+		for _, mask := range [2]uint32{1 << uint(i), all &^ (1 << uint(i))} {
+			if mask != 0 && mask != all && !seen[mask] {
+				seen[mask] = true
+				out = append(out, mask)
+			}
+		}
+	}
+	return out
+}
+
+// Terminals returns t_Pb: the number of nets in block b that need an
+// IOB — external nets touching the block plus cut nets. Virtual pin
+// connections (NewStatePinned) are excluded from the touch counts.
+func (s *State) Terminals(b Block) int {
+	t := 0
+	for ni := range s.g.Nets {
+		ext := s.g.Nets[ni].Ext != hypergraph.Internal
+		here := s.cnt[ni][b]
+		other := s.cnt[ni][b.Other()]
+		if s.extPin && ext {
+			if b == 1 {
+				here--
+			} else {
+				other--
+			}
+		}
+		if here == 0 {
+			continue
+		}
+		if ext || other > 0 {
+			t++
+		}
+	}
+	return t
+}
+
+// CutNet reports whether net n is currently in the cut set.
+func (s *State) CutNet(n hypergraph.NetID) bool {
+	return s.cnt[n][0] > 0 && s.cnt[n][1] > 0
+}
+
+// TouchedCells returns the distinct cells with a connection on any net
+// incident to cell c — the neighborhood whose gains an engine must
+// refresh after applying a move on c. The result includes c itself.
+func (s *State) TouchedCells(c hypergraph.CellID, buf []hypergraph.CellID) []hypergraph.CellID {
+	buf = buf[:0]
+	seen := make(map[hypergraph.CellID]bool, 16)
+	seen[c] = true
+	buf = append(buf, c)
+	for _, n := range s.g.CellNets(c) {
+		for _, cn := range s.g.Nets[n].Conns {
+			if !seen[cn.Cell] {
+				seen[cn.Cell] = true
+				buf = append(buf, cn.Cell)
+			}
+		}
+	}
+	return buf
+}
+
+// InstanceSpecs lists the cell copies active in block b in the form
+// hypergraph.Subcircuit consumes. Replica copies (a replicated cell's
+// copy outside its home block) get a "$r" name suffix.
+func (s *State) InstanceSpecs(b Block) []hypergraph.InstanceSpec {
+	var specs []hypergraph.InstanceSpec
+	for ci := range s.own {
+		mask := s.own[ci][b]
+		if mask == 0 {
+			continue
+		}
+		spec := hypergraph.InstanceSpec{Cell: hypergraph.CellID(ci)}
+		if mask != s.all[ci] {
+			outs := make([]int, 0, bits.OnesCount32(mask))
+			for i := 0; i < MaxOutputs; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					outs = append(outs, i)
+				}
+			}
+			spec.Outputs = outs
+		}
+		if s.repl[ci] && b != s.home[ci] {
+			spec.Rename = s.g.Cells[ci].Name + "$r"
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// CheckInvariants recomputes every derived quantity from scratch and
+// compares; used by tests and property checks.
+func (s *State) CheckInvariants() error {
+	cnt := make([][2]int32, len(s.g.Nets))
+	if s.extPin {
+		for ni := range s.g.Nets {
+			if s.g.Nets[ni].Ext != hypergraph.Internal {
+				cnt[ni][1]++
+			}
+		}
+	}
+	var area [2]int
+	for ci := range s.g.Cells {
+		c := &s.g.Cells[ci]
+		own := s.own[ci]
+		if own[0]&own[1] != 0 {
+			return fmt.Errorf("cell %q owned in both blocks: %b/%b", c.Name, own[0], own[1])
+		}
+		if own[0]|own[1] != s.all[ci] {
+			return fmt.Errorf("cell %q ownership incomplete: %b|%b != %b", c.Name, own[0], own[1], s.all[ci])
+		}
+		if s.repl[ci] != (own[0] != 0 && own[1] != 0) {
+			return fmt.Errorf("cell %q replication flag inconsistent", c.Name)
+		}
+		if !s.repl[ci] && own[s.home[ci]] == 0 {
+			return fmt.Errorf("cell %q home block owns nothing", c.Name)
+		}
+		for b := Block(0); b < 2; b++ {
+			if own[b] != 0 {
+				area[b] += c.Area
+			}
+			for pi := range c.Outputs {
+				if own[b]&(1<<uint(pi)) != 0 {
+					cnt[c.Outputs[pi]][b]++
+				}
+			}
+			for pi, n := range c.Inputs {
+				if n == hypergraph.NilNet {
+					continue
+				}
+				if own[b]&s.col[ci][pi] != 0 {
+					cnt[n][b]++
+				}
+			}
+		}
+	}
+	cut := 0
+	for ni := range s.g.Nets {
+		if cnt[ni] != s.cnt[ni] {
+			return fmt.Errorf("net %q counts %v, cached %v", s.g.Nets[ni].Name, cnt[ni], s.cnt[ni])
+		}
+		if cnt[ni][0] > 0 && cnt[ni][1] > 0 {
+			cut++
+		}
+	}
+	if cut != s.cut {
+		return fmt.Errorf("cut %d, cached %d", cut, s.cut)
+	}
+	if area != s.area {
+		return fmt.Errorf("area %v, cached %v", area, s.area)
+	}
+	return nil
+}

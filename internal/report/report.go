@@ -1,0 +1,189 @@
+// Package report renders aligned plain-text tables and simple
+// horizontal bar charts for the experiment drivers, in the spirit of
+// the paper's Tables I–VII and Figure 3.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Row appends a row; values are formatted with %v, floats with %.2f
+// unless already strings.
+func (t *Table) Row(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Note appends a footnote line rendered after the table body.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = runeLen(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && runeLen(cell) > widths[i] {
+				widths[i] = runeLen(cell)
+			}
+		}
+	}
+	total := 1
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	rule := strings.Repeat("-", total)
+	fmt.Fprintln(w, rule)
+	fmt.Fprint(w, "|")
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, " %s |", pad(c, widths[i]))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, rule)
+	for _, row := range t.rows {
+		fmt.Fprint(w, "|")
+		for i := range t.Columns {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(w, " %s |", pad(cell, widths[i]))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, rule)
+	for _, n := range t.notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func runeLen(s string) int { return len([]rune(s)) }
+
+// pad right-pads (left-aligns) headers and left-pads (right-aligns)
+// numeric-looking cells.
+func pad(s string, w int) string {
+	gap := w - runeLen(s)
+	if gap <= 0 {
+		return s
+	}
+	if looksNumeric(s) {
+		return strings.Repeat(" ", gap) + s
+	}
+	return s + strings.Repeat(" ", gap)
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '.' || r == '-' || r == '+' || r == '%' || r == ',':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Bars renders a labeled horizontal bar chart (used for Figure 3).
+type Bars struct {
+	Title string
+	Max   float64
+	Width int // bar width in characters (default 40)
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+	text  string
+}
+
+// NewBars creates a bar chart.
+func NewBars(title string) *Bars { return &Bars{Title: title, Width: 40} }
+
+// Bar appends one bar with a trailing text annotation.
+func (b *Bars) Bar(label string, value float64, text string) {
+	if value > b.Max {
+		b.Max = value
+	}
+	b.rows = append(b.rows, barRow{label, value, text})
+}
+
+// Render writes the chart to w.
+func (b *Bars) Render(w io.Writer) {
+	if b.Title != "" {
+		fmt.Fprintln(w, b.Title)
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	labelW := 0
+	for _, r := range b.rows {
+		if l := runeLen(r.label); l > labelW {
+			labelW = l
+		}
+	}
+	for _, r := range b.rows {
+		n := 0
+		if b.Max > 0 {
+			n = int(r.value / b.Max * float64(width))
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(w, "  %s |%s%s %s\n",
+			pad(r.label, labelW), strings.Repeat("#", n), strings.Repeat(" ", width-n), r.text)
+	}
+}
+
+// String renders the chart to a string.
+func (b *Bars) String() string {
+	var sb strings.Builder
+	b.Render(&sb)
+	return sb.String()
+}

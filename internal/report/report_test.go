@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("TABLE X", "Circuit", "CLBs", "Cost")
+	tb.Row("c3540", 283, 543.0)
+	tb.Row("s38584", 2941, 4210.5)
+	tb.Note("threshold T = %d", 1)
+	out := tb.String()
+	if !strings.Contains(out, "TABLE X") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	for _, want := range []string{"Circuit", "c3540", "2941", "4210.50", "note: threshold T = 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// All body lines share the same width.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var w int
+	for _, l := range lines[1:5] {
+		if w == 0 {
+			w = len([]rune(l))
+		} else if len([]rune(l)) != w {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.Row("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Fatalf("short row dropped:\n%s", out)
+	}
+}
+
+func TestPadAlignment(t *testing.T) {
+	if got := pad("12", 4); got != "  12" {
+		t.Fatalf("numeric pad = %q", got)
+	}
+	if got := pad("ab", 4); got != "ab  " {
+		t.Fatalf("text pad = %q", got)
+	}
+	if got := pad("abcd", 2); got != "abcd" {
+		t.Fatalf("overlong pad = %q", got)
+	}
+}
+
+func TestLooksNumeric(t *testing.T) {
+	for s, want := range map[string]bool{
+		"123": true, "1.5": true, "-3": true, "45.2%": true,
+		"c3540": false, "": false, "n/a": false,
+	} {
+		if got := looksNumeric(s); got != want {
+			t.Fatalf("looksNumeric(%q) = %v", s, got)
+		}
+	}
+}
+
+func TestBarsRender(t *testing.T) {
+	b := NewBars("Fig. 3")
+	b.Bar("ψ=0", 10, "10%")
+	b.Bar("ψ=1", 40, "40%")
+	out := b.String()
+	if !strings.Contains(out, "Fig. 3") || !strings.Contains(out, "ψ=1") {
+		t.Fatalf("bars missing content:\n%s", out)
+	}
+	// The larger bar must be longer.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	c0 := strings.Count(lines[1], "#")
+	c1 := strings.Count(lines[2], "#")
+	if c1 <= c0 {
+		t.Fatalf("bar lengths wrong: %d vs %d\n%s", c0, c1, out)
+	}
+	if c1 != 40 {
+		t.Fatalf("max bar should fill width, got %d", c1)
+	}
+}
+
+func TestBarsZeroMax(t *testing.T) {
+	b := NewBars("")
+	b.Bar("x", 0, "0")
+	if out := b.String(); !strings.Contains(out, "x") {
+		t.Fatalf("zero bars broken:\n%s", out)
+	}
+}

@@ -1,0 +1,95 @@
+package techmap
+
+import (
+	"math/rand"
+)
+
+// pack groups LUTs into CLBs: pairs with at most MaxCLBInputs distinct
+// support nets and no combinational feedback through the cell,
+// preferring partners that share inputs (as real packers do to satisfy
+// the five-input bound). With DistantPackFrac > 0, a fraction of pairs
+// is drawn from a wider region, mimicking area-driven leftover packing.
+func pack(luts []LUT, opts Options) []CLB {
+	r := rand.New(rand.NewSource(opts.Seed))
+	used := make([]bool, len(luts))
+	var clbs []CLB
+
+	unionSize := func(a, b *LUT) int {
+		m := make(map[string]bool, len(a.Support)+len(b.Support))
+		for _, s := range a.Support {
+			m[s] = true
+		}
+		for _, s := range b.Support {
+			m[s] = true
+		}
+		return len(m)
+	}
+	sharedCount := func(a, b *LUT) int {
+		m := make(map[string]bool, len(a.Support))
+		for _, s := range a.Support {
+			m[s] = true
+		}
+		k := 0
+		for _, s := range b.Support {
+			if m[s] {
+				k++
+			}
+		}
+		return k
+	}
+	feeds := func(a, b *LUT) bool {
+		for _, s := range b.Support {
+			if s == a.Out {
+				return true
+			}
+		}
+		return false
+	}
+	canPack := func(i, j int) bool {
+		a, b := &luts[i], &luts[j]
+		if unionSize(a, b) > MaxCLBInputs {
+			return false
+		}
+		return !feeds(a, b) && !feeds(b, a)
+	}
+
+	for i := range luts {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		partner := -1
+		distant := opts.DistantPackFrac > 0 && r.Float64() < opts.DistantPackFrac
+		for try := 0; try < 16; try++ {
+			var j int
+			if distant {
+				j = r.Intn(len(luts))
+			} else {
+				span := 12
+				if i+1+span > len(luts) {
+					span = len(luts) - i - 1
+				}
+				if span <= 0 {
+					break
+				}
+				j = i + 1 + r.Intn(span)
+			}
+			if used[j] || j == i || !canPack(i, j) {
+				continue
+			}
+			if partner < 0 || sharedCount(&luts[i], &luts[j]) > sharedCount(&luts[i], &luts[partner]) {
+				partner = j
+			}
+			if try >= 8 && partner >= 0 {
+				break
+			}
+		}
+		if partner >= 0 {
+			used[partner] = true
+			clbs = append(clbs, CLB{LUTs: []LUT{luts[i], luts[partner]}})
+		} else {
+			clbs = append(clbs, CLB{LUTs: []LUT{luts[i]}})
+		}
+	}
+	return clbs
+}

@@ -1,0 +1,157 @@
+// Package verify checks a k-way partitioning result against its source
+// circuit: structural validity of every part, device feasibility,
+// cell-coverage accounting (each source cell present, replicas
+// consistent), the single-producer property of functional replication
+// (every net is driven in exactly one part), and exact IOB accounting
+// (the parts' terminal counts sum to what the nets' spans imply).
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/kway"
+)
+
+// Partition runs every check and returns the first violation.
+func Partition(src *hypergraph.Graph, res kway.Result) error {
+	if len(res.Parts) == 0 {
+		return fmt.Errorf("verify: empty partition")
+	}
+	if len(res.Parts) != len(res.Summary.Parts) {
+		return fmt.Errorf("verify: %d parts but %d summary rows", len(res.Parts), len(res.Summary.Parts))
+	}
+	for i, p := range res.Parts {
+		if err := p.Graph.Validate(); err != nil {
+			return fmt.Errorf("verify: part %d: %w", i, err)
+		}
+		row := res.Summary.Parts[i]
+		if row.CLBs != p.Graph.TotalArea() || row.Terminals != p.Graph.NumTerminals() || row.Cells != p.Graph.NumCells() {
+			return fmt.Errorf("verify: part %d summary row disagrees with its graph", i)
+		}
+		if !p.Device.Fits(p.Graph.TotalArea(), p.Graph.NumTerminals()) {
+			return fmt.Errorf("verify: part %d (%d CLBs, %d terminals) does not fit %s",
+				i, p.Graph.TotalArea(), p.Graph.NumTerminals(), p.Device.Name)
+		}
+	}
+	if err := cellCoverage(src, res); err != nil {
+		return err
+	}
+	if err := singleProducer(src, res); err != nil {
+		return err
+	}
+	return iobAccounting(src, res)
+}
+
+// baseName strips replica suffixes: "u7$r$r" -> "u7".
+func baseName(name string) string {
+	for strings.HasSuffix(name, "$r") {
+		name = strings.TrimSuffix(name, "$r")
+	}
+	return name
+}
+
+// cellCoverage checks that every source cell appears at least once,
+// that only known cells appear, and that the instance count equals
+// source cells plus reported replicas.
+func cellCoverage(src *hypergraph.Graph, res kway.Result) error {
+	known := make(map[string]bool, src.NumCells())
+	for i := range src.Cells {
+		known[src.Cells[i].Name] = true
+	}
+	counts := make(map[string]int, src.NumCells())
+	instances := 0
+	for pi, p := range res.Parts {
+		for i := range p.Graph.Cells {
+			name := baseName(p.Graph.Cells[i].Name)
+			if !known[name] {
+				return fmt.Errorf("verify: part %d contains unknown cell %q", pi, p.Graph.Cells[i].Name)
+			}
+			counts[name]++
+			instances++
+		}
+	}
+	for name := range known {
+		if counts[name] == 0 {
+			return fmt.Errorf("verify: source cell %q missing from every part", name)
+		}
+	}
+	if want := src.NumCells() + res.Summary.ReplicatedCells(); instances != want {
+		return fmt.Errorf("verify: %d instances, want %d source + %d replicas",
+			instances, src.NumCells(), res.Summary.ReplicatedCells())
+	}
+	return nil
+}
+
+// singleProducer checks functional replication's core invariant: every
+// cell-driven net of the source circuit is driven in exactly one part
+// (outputs are partitioned between copies, never duplicated).
+func singleProducer(src *hypergraph.Graph, res kway.Result) error {
+	srcNet := make(map[string]hypergraph.ExtKind, src.NumNets())
+	for i := range src.Nets {
+		srcNet[src.Nets[i].Name] = src.Nets[i].Ext
+	}
+	drivers := make(map[string]int)
+	for pi, p := range res.Parts {
+		for ni := range p.Graph.Nets {
+			net := &p.Graph.Nets[ni]
+			kind, known := srcNet[net.Name]
+			if !known {
+				return fmt.Errorf("verify: part %d contains unknown net %q", pi, net.Name)
+			}
+			hasDriver := false
+			for _, cn := range net.Conns {
+				if cn.Out {
+					hasDriver = true
+				}
+			}
+			if hasDriver {
+				if kind == hypergraph.ExtIn {
+					return fmt.Errorf("verify: part %d drives primary input net %q", pi, net.Name)
+				}
+				drivers[net.Name]++
+			}
+		}
+	}
+	for name, kind := range srcNet {
+		if kind == hypergraph.ExtIn {
+			continue
+		}
+		if n := drivers[name]; n > 1 {
+			return fmt.Errorf("verify: net %q driven in %d parts", name, n)
+		}
+	}
+	return nil
+}
+
+// iobAccounting recomputes every part's terminal demand from the nets'
+// spans: a net consumes one IOB in each part it touches when it is
+// external in the source or it touches more than one part.
+func iobAccounting(src *hypergraph.Graph, res kway.Result) error {
+	ext := make(map[string]bool, src.NumNets())
+	for i := range src.Nets {
+		if src.Nets[i].Ext != hypergraph.Internal {
+			ext[src.Nets[i].Name] = true
+		}
+	}
+	touch := make(map[string]int)
+	for _, p := range res.Parts {
+		for ni := range p.Graph.Nets {
+			touch[p.Graph.Nets[ni].Name]++
+		}
+	}
+	for pi, p := range res.Parts {
+		want := 0
+		for ni := range p.Graph.Nets {
+			name := p.Graph.Nets[ni].Name
+			if ext[name] || touch[name] > 1 {
+				want++
+			}
+		}
+		if got := p.Graph.NumTerminals(); got != want {
+			return fmt.Errorf("verify: part %d has %d terminals, span accounting expects %d", pi, got, want)
+		}
+	}
+	return nil
+}
