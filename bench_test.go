@@ -326,6 +326,29 @@ func BenchmarkAblationPairRefine(b *testing.B) {
 	}
 }
 
+// BenchmarkKwayVerifyOverhead measures the cost of in-loop
+// verification (kway.Options.Verify / kpart -verify): every accepted
+// carve is re-checked with replication.State invariants plus
+// verify.Split, and every assembled solution with verify.Partition.
+// The checks are linear in pins, so the overhead stays small against
+// the FM search itself — expected below ~10% at this reduced scale.
+func BenchmarkKwayVerifyOverhead(b *testing.B) {
+	g := benchGraph(b, "s13207", 2)
+	for _, on := range []bool{false, true} {
+		name := "verify-off"
+		if on {
+			name = "verify-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Partition(g, core.Options{Solutions: 3, Seed: int64(i), Verify: on}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationFMvsAnnealing compares the paper's FM engine
 // against a generic simulated-annealing baseline over the same move
 // universe (equal configuration, one start each).

@@ -25,7 +25,6 @@ import (
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/report"
 	"fpgapart/internal/techmap"
-	"fpgapart/internal/verify"
 )
 
 func main() {
@@ -34,7 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	gate := flag.Bool("gate", false, "input is a gate-level netlist (.gnl); map it first")
 	verbose := flag.Bool("v", false, "print per-part details")
-	check := flag.Bool("verify", false, "verify the partition against the source circuit")
+	check := flag.Bool("verify", false, "verify every accepted carve and solution in-loop, plus the final result")
 	outDir := flag.String("o", "", "write each part as <dir>/<circuit>.pN.clb")
 	jsonOut := flag.Bool("json", false, "print the solution summary as JSON")
 	flag.Parse()
@@ -77,7 +76,7 @@ func run(path string, threshold, solutions int, seed int64, gate, verbose, check
 		}
 	}
 
-	res, err := core.Partition(g, core.Options{Threshold: threshold, Solutions: solutions, Seed: seed})
+	res, err := core.Partition(g, core.Options{Threshold: threshold, Solutions: solutions, Seed: seed, Verify: check})
 	if err != nil {
 		return err
 	}
@@ -90,7 +89,7 @@ func run(path string, threshold, solutions int, seed int64, gate, verbose, check
 	fmt.Printf("search: %d feasible solutions, %d failed attempts; cost spread min=%.0f mean=%.0f max=%.0f\n",
 		res.Feasible, res.Failed, res.CostMin, res.CostMean, res.CostMax)
 	if check {
-		if err := verify.Partition(g, res); err != nil {
+		if err := res.Verify(g); err != nil {
 			return err
 		}
 		fmt.Println("verify: partition is consistent (coverage, producers, IOB accounting)")

@@ -45,6 +45,9 @@ type Options struct {
 	// Refine runs the pairwise k-way refinement sweep on the winning
 	// solution (extension; see kway.Refine).
 	Refine bool
+	// Verify runs the partition verifier in-loop on every accepted
+	// carve and every feasible solution (see kway.Options.Verify).
+	Verify bool
 	Seed   int64
 }
 
@@ -71,6 +74,7 @@ func Partition(g *hypergraph.Graph, opts Options) (Result, error) {
 		Library:   opts.Library,
 		Threshold: opts.Threshold,
 		Solutions: opts.Solutions,
+		Verify:    opts.Verify,
 		Seed:      opts.Seed,
 	}
 	res, err := kway.Partition(g, kopts)

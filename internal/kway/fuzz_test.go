@@ -1,0 +1,54 @@
+package kway_test
+
+import (
+	"errors"
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/kway"
+	"fpgapart/internal/library"
+)
+
+// FuzzKway drives the full k-way search over fuzzed (seed, threshold,
+// size) triples with in-loop verification enabled. Two failure classes
+// matter: a panic anywhere in the search, and a *VerificationError —
+// a structurally inconsistent carve or solution that the randomized
+// search accepted. Ordinary infeasibility (the fuzzed circuit simply
+// does not fit the forced library) is skipped.
+func FuzzKway(f *testing.F) {
+	f.Add(int64(1), int8(1), uint8(40))
+	f.Add(int64(7), int8(-1), uint8(12))
+	f.Add(int64(42), int8(0), uint8(64))
+	f.Fuzz(func(t *testing.T, seed int64, threshold int8, cells uint8) {
+		n := 8 + int(cells)%57               // 8..64 cells
+		th := (int(threshold)%5+5)%5 - 1     // -1..3; -1 is fm.NoReplication
+		g, err := bench.Generate(bench.Params{
+			Name: "fuzz", Cells: n, PrimaryIn: 5, PrimaryOut: 3,
+			Clustering: float64(n%4) * 0.2, Seed: seed,
+		})
+		if err != nil {
+			t.Skip() // degenerate generator parameters
+		}
+		// A small device forces multi-way splits on all but the tiniest
+		// circuits.
+		lib, err := library.Custom(library.Device{
+			Name: "fuzz-dev", CLBs: 24, IOBs: 40, Price: 50, LowUtil: 0, HighUtil: 0.9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := kway.Partition(g, kway.Options{
+			Library: lib, Threshold: th, Solutions: 2, Seed: seed, Verify: true,
+		})
+		if err != nil {
+			var verr *kway.VerificationError
+			if errors.As(err, &verr) {
+				t.Fatalf("cells=%d T=%d seed=%d: search accepted an inconsistent partition: %v", n, th, seed, err)
+			}
+			t.Skip() // infeasible under the forced library
+		}
+		if err := res.Verify(g); err != nil {
+			t.Fatalf("cells=%d T=%d seed=%d: returned solution fails verification: %v", n, th, seed, err)
+		}
+	})
+}

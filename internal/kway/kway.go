@@ -30,6 +30,7 @@ import (
 	"fpgapart/internal/library"
 	"fpgapart/internal/metrics"
 	"fpgapart/internal/replication"
+	"fpgapart/internal/verify"
 )
 
 // Options configures the k-way search.
@@ -46,8 +47,31 @@ type Options struct {
 	Retries int
 	// MaxPasses caps FM passes per carve (default: engine default).
 	MaxPasses int
-	Seed      int64
+	// Verify enables in-loop invariant checking: every accepted carve
+	// is checked against its subcircuit (state invariants, cell
+	// coverage, single producer, IOB span accounting) and every
+	// feasible k-way solution is run through the full partition
+	// verifier before it competes for best. Violations abort the search
+	// with a *VerificationError — they indicate a partitioner bug, not
+	// an infeasible instance.
+	Verify bool
+	Seed   int64
 }
+
+// VerificationError reports an in-loop invariant violation detected by
+// Options.Verify. It always wraps the underlying verifier error.
+type VerificationError struct {
+	// Stage identifies where the violation surfaced: "carve-state",
+	// "carve", "solution" or "refine".
+	Stage string
+	Err   error
+}
+
+func (e *VerificationError) Error() string {
+	return fmt.Sprintf("kway: verification failed at %s: %v", e.Stage, e.Err)
+}
+
+func (e *VerificationError) Unwrap() error { return e.Err }
 
 func (o Options) withDefaults() Options {
 	if o.Solutions == 0 {
@@ -80,6 +104,17 @@ type Result struct {
 	// feasible solutions the randomized search generated — the spread
 	// the best-of-N selection exploits.
 	CostMin, CostMax, CostMean float64
+}
+
+// Verify checks the result against its source circuit with the full
+// partition verifier: structural validity, device feasibility, cell
+// coverage, single-producer replication and IOB span accounting.
+func (r Result) Verify(src *hypergraph.Graph) error {
+	parts := make([]verify.Part, len(r.Parts))
+	for i, p := range r.Parts {
+		parts[i] = verify.Part{Graph: p.Graph, Device: p.Device}
+	}
+	return verify.Partition(src, parts, r.Summary)
 }
 
 // Partition searches for the minimum-cost feasible k-way partition.
@@ -129,6 +164,13 @@ func Partition(g *hypergraph.Graph, opts Options) (Result, error) {
 	var firstErr error
 	for i := 0; i < opts.Solutions; i++ {
 		if results[i].err != nil {
+			// Verification failures are partitioner bugs, never ordinary
+			// infeasibility: surface them instead of counting a failed
+			// attempt.
+			var verr *VerificationError
+			if errors.As(results[i].err, &verr) {
+				return Result{}, results[i].err
+			}
 			failed++
 			if firstErr == nil {
 				firstErr = results[i].err
@@ -139,6 +181,11 @@ func Partition(g *hypergraph.Graph, opts Options) (Result, error) {
 		parts := results[i].parts
 		remapDevices(parts, opts.Library)
 		res := assemble(g, parts)
+		if opts.Verify {
+			if err := res.Verify(g); err != nil {
+				return Result{}, &VerificationError{Stage: "solution", Err: err}
+			}
+		}
 		cost := res.Summary.DeviceCost()
 		if feasible == 1 || cost < costMin {
 			costMin = cost
@@ -300,6 +347,14 @@ func carve(sub *hypergraph.Graph, opts Options, r *rand.Rand) (carved, rest *hyp
 		if rst.TotalArea() >= total {
 			lastErr = fmt.Errorf("kway: carve made no progress (replication blow-up)")
 			continue
+		}
+		if opts.Verify {
+			if verr := st.CheckInvariants(); verr != nil {
+				return nil, nil, library.Device{}, &VerificationError{Stage: "carve-state", Err: verr}
+			}
+			if verr := verify.Split(sub, c, rst); verr != nil {
+				return nil, nil, library.Device{}, &VerificationError{Stage: "carve", Err: verr}
+			}
 		}
 		return c, rst, d, nil
 	}

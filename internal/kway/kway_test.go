@@ -27,6 +27,10 @@ func opts(threshold int, solutions int) Options {
 		Threshold: threshold,
 		Solutions: solutions,
 		Seed:      1,
+		// The whole suite runs with in-loop verification: any carve or
+		// solution the search accepts that fails the structural checks
+		// turns into a *VerificationError test failure.
+		Verify: true,
 	}
 }
 

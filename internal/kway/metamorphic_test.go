@@ -1,0 +1,108 @@
+package kway_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/fm"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/kway"
+	"fpgapart/internal/library"
+	"fpgapart/internal/metrics"
+)
+
+func metaCircuit(t testing.TB, seed int64) *hypergraph.Graph {
+	t.Helper()
+	g, err := bench.Generate(bench.Params{
+		Name: "meta", Cells: 350, PrimaryIn: 16, PrimaryOut: 10, DFFs: 40,
+		Clustering: 0.5, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// relabel rebuilds the graph with fresh cell and net names but
+// identical structure (same ids, kinds, dependency vectors, areas).
+func relabel(t *testing.T, g *hypergraph.Graph) *hypergraph.Graph {
+	t.Helper()
+	b := hypergraph.NewBuilder(g.Name + "_relabeled")
+	for ni := range g.Nets {
+		name := fmt.Sprintf("zz%d", ni)
+		switch g.Nets[ni].Ext {
+		case hypergraph.ExtIn:
+			b.InputNet(name)
+		case hypergraph.ExtOut:
+			b.OutputNet(name)
+		default:
+			b.Net(name)
+		}
+	}
+	for ci := range g.Cells {
+		c := &g.Cells[ci]
+		b.AddCell(hypergraph.CellSpec{
+			Name:    fmt.Sprintf("qq%d", ci),
+			Inputs:  c.Inputs,
+			Outputs: c.Outputs,
+			Dep:     c.Dep,
+			Area:    c.Area,
+			DFFs:    c.DFFs,
+		})
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func summarySig(s metrics.Solution) string { return fmt.Sprintf("%#v", s) }
+
+// TestRelabelInvariance: the search keys on graph structure, never on
+// names, so renaming every cell and net must reproduce the summary
+// byte for byte.
+func TestRelabelInvariance(t *testing.T) {
+	g := metaCircuit(t, 12)
+	h := relabel(t, g)
+	for _, threshold := range []int{fm.NoReplication, 1} {
+		opts := kway.Options{Library: library.XC3000(), Threshold: threshold, Solutions: 4, Seed: 3, Verify: true}
+		a, err := kway.Partition(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := kway.Partition(h, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa, sb := summarySig(a.Summary), summarySig(b.Summary); sa != sb {
+			t.Fatalf("T=%d: relabeling changed the solution:\n  original:  %s\n  relabeled: %s", threshold, sa, sb)
+		}
+	}
+}
+
+// TestSummaryDeterministicAcrossGOMAXPROCS: the parallel search must be
+// schedule-independent — identical Options give a byte-identical
+// summary whether the worker pool runs on 1, 2 or 8 procs.
+func TestSummaryDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	g := metaCircuit(t, 11)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	want := ""
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		res, err := kway.Partition(g, kway.Options{
+			Library: library.XC3000(), Threshold: 1, Solutions: 4, Seed: 5, Verify: true,
+		})
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		sig := summarySig(res.Summary)
+		if want == "" {
+			want = sig
+		} else if sig != want {
+			t.Fatalf("GOMAXPROCS=%d produced a different solution:\n  first: %s\n  now:   %s", procs, want, sig)
+		}
+	}
+}

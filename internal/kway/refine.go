@@ -43,6 +43,11 @@ func Refine(g *hypergraph.Graph, res *Result, opts Options) (int, error) {
 	if accepted > 0 {
 		// Rebuild the summary rows.
 		*res = assembleFrom(g, res.Parts, res.SourceCells, res.Feasible, res.Failed)
+		if opts.Verify {
+			if err := res.Verify(g); err != nil {
+				return accepted, &VerificationError{Stage: "refine", Err: err}
+			}
+		}
 	}
 	return accepted, nil
 }

@@ -8,7 +8,6 @@ import (
 	"fpgapart/internal/kway"
 	"fpgapart/internal/library"
 	"fpgapart/internal/metrics"
-	"fpgapart/internal/verify"
 )
 
 func refined(t *testing.T, threshold int, seed int64) (int, metrics.Solution, metrics.Solution) {
@@ -31,7 +30,7 @@ func refined(t *testing.T, threshold int, seed int64) (int, metrics.Solution, me
 		t.Fatal(err)
 	}
 	// The refined result must still verify completely.
-	if err := verify.Partition(g, res); err != nil {
+	if err := res.Verify(g); err != nil {
 		t.Fatalf("refined result fails verification: %v", err)
 	}
 	return n, before, res.Summary

@@ -1,0 +1,65 @@
+package oracle
+
+import (
+	"fmt"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/hypergraph"
+)
+
+// CorpusParams shapes the differential-test corpus.
+type CorpusParams struct {
+	// Cases is the number of circuits (default 200).
+	Cases int
+	// MaxCells caps the cell count of every member (default 10).
+	MaxCells int
+	// Seed offsets the deterministic generator seed sequence.
+	Seed int64
+}
+
+func (p CorpusParams) withDefaults() CorpusParams {
+	if p.Cases == 0 {
+		p.Cases = 200
+	}
+	if p.MaxCells == 0 {
+		p.MaxCells = 10
+	}
+	return p
+}
+
+// Corpus generates the fixed oracle-scale test corpus: deterministic
+// tiny circuits spanning cell counts, primary-I/O widths and
+// clustering levels, every one small enough for exhaustive
+// enumeration. The same params always yield the same circuits, so
+// corpus-wide statistics (e.g. the FM-hits-optimum rate) are stable
+// regression anchors.
+func Corpus(p CorpusParams) ([]*hypergraph.Graph, error) {
+	p = p.withDefaults()
+	out := make([]*hypergraph.Graph, 0, p.Cases)
+	// The generator treats Cells as a target, not a bound; oversized
+	// results are skipped, so the seed stream runs ahead of the corpus
+	// index.
+	for seed := p.Seed; len(out) < p.Cases; seed++ {
+		if seed-p.Seed > int64(64*p.Cases) {
+			return nil, fmt.Errorf("oracle: corpus generation stalled after %d seeds", seed-p.Seed)
+		}
+		i := len(out)
+		cells := 4 + i%(p.MaxCells-3) // 4..MaxCells
+		g, err := bench.Generate(bench.Params{
+			Name:       fmt.Sprintf("oracle%03d", i),
+			Cells:      cells,
+			PrimaryIn:  3 + i%4,
+			PrimaryOut: 1 + i%3,
+			Clustering: [3]float64{0, 0.35, 0.7}[i%3],
+			Seed:       1000 + seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: corpus case %d: %w", i, err)
+		}
+		if g.NumCells() < 2 || g.NumCells() > p.MaxCells {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}

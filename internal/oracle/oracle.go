@@ -1,0 +1,395 @@
+// Package oracle exhaustively enumerates optimal bipartitions of tiny
+// circuits — the ground truth the heuristic engines (fm, replication,
+// kway) are differentially tested against.
+//
+// The search space mirrors internal/replication's state model exactly:
+// each cell's configuration is an ownership pair (own0, own1) of output
+// masks with own0 | own1 = all and own0 & own1 = 0. Without functional
+// replication a cell is entirely in one block (2 configurations); with
+// replication every proper split of the output set is legal (2^m
+// configurations for an m-output cell), and a copy carrying output set
+// S connects exactly the output nets of S and the input nets adjacent
+// to S (the functional replication rule of Kužnar et al., DAC'94,
+// Sec. III). The cut is the number of nets with active connections in
+// both blocks; with PinExternal the cut equals t_P0, the carved
+// block's terminal demand (see replication.NewStatePinned).
+//
+// MinCut runs a depth-first branch-and-bound over cell configurations:
+// activity counts only grow along a branch, so the running cut is a
+// monotone lower bound and block areas admit suffix-sum feasibility
+// pruning. Circuits up to ~10 cells solve in well under a second,
+// which is the scale the differential corpus uses.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fpgapart/internal/hypergraph"
+)
+
+// DefaultMaxCells bounds the instance size MinCut accepts unless the
+// caller raises Config.MaxCells explicitly.
+const DefaultMaxCells = 12
+
+// defaultMaxStates caps the enumeration-tree size estimate.
+const defaultMaxStates = int64(200_000_000)
+
+// Config controls one exhaustive search.
+type Config struct {
+	// MinArea/MaxArea bound the active cell area of each block, exactly
+	// as fm.Config does (replicated cells count in both blocks). A zero
+	// MaxArea entry means unbounded.
+	MinArea [2]int
+	MaxArea [2]int
+	// Replication admits every legal output split per cell; otherwise
+	// cells stay whole and the search is the classic exhaustive min-cut
+	// bipartition.
+	Replication bool
+	// PinExternal places a virtual connection on every external net in
+	// block 1, making the cut equal t_P0 (the objective of pinned carve
+	// runs; see replication.NewStatePinned).
+	PinExternal bool
+	// MaxCells overrides DefaultMaxCells.
+	MaxCells int
+	// MaxStates caps the upper-bound estimate of enumeration leaves
+	// (default 2e8); instances estimated above it are rejected rather
+	// than silently slow.
+	MaxStates int64
+}
+
+// Result is the exhaustive optimum.
+type Result struct {
+	// Cut is the minimum cut over all feasible configurations.
+	Cut int
+	// Own is one optimal configuration: per source cell, the output
+	// masks active in block 0 and block 1.
+	Own [][2]uint32
+	// Nodes counts search-tree nodes visited (diagnostics).
+	Nodes int64
+}
+
+// MinCut exhaustively finds the optimal bipartition of g under cfg.
+// It returns an error when the instance is too large or no
+// configuration satisfies the area bounds.
+func MinCut(g *hypergraph.Graph, cfg Config) (Result, error) {
+	n := g.NumCells()
+	if n == 0 {
+		return Result{}, fmt.Errorf("oracle: empty circuit")
+	}
+	maxCells := cfg.MaxCells
+	if maxCells == 0 {
+		maxCells = DefaultMaxCells
+	}
+	if n > maxCells {
+		return Result{}, fmt.Errorf("oracle: %d cells exceeds limit %d", n, maxCells)
+	}
+	for b := 0; b < 2; b++ {
+		if cfg.MaxArea[b] == 0 {
+			cfg.MaxArea[b] = g.TotalArea()
+		}
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = defaultMaxStates
+	}
+
+	s, err := newSearch(g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if est := s.estimateLeaves(); est > maxStates {
+		return Result{}, fmt.Errorf("oracle: ~%d configurations exceed the %d-state budget", est, maxStates)
+	}
+	s.dfs(0)
+	if s.bestCut == math.MaxInt {
+		return Result{}, fmt.Errorf("oracle: no configuration satisfies area bounds [%v,%v]", cfg.MinArea, cfg.MaxArea)
+	}
+	return Result{Cut: s.bestCut, Own: s.bestOwn, Nodes: s.nodes}, nil
+}
+
+// cellPlan precomputes one cell's enumeration data.
+type cellPlan struct {
+	id      hypergraph.CellID
+	area    int
+	all     uint32
+	col     []uint32 // per input pin: mask of outputs depending on it
+	configs [][2]uint32
+}
+
+type search struct {
+	g     *hypergraph.Graph
+	cfg   Config
+	plans []cellPlan
+	// cnt is the per-net active connection count per block; cut is the
+	// number of nets active in both.
+	cnt  [][2]int32
+	cut  int
+	area [2]int
+	// remArea[i] is the total area of cells i..n-1 — the most any block
+	// can still gain.
+	remArea []int
+
+	own     [][2]uint32 // current configuration, indexed by source cell id
+	bestCut int
+	bestOwn [][2]uint32
+	nodes   int64
+}
+
+func newSearch(g *hypergraph.Graph, cfg Config) (*search, error) {
+	s := &search{
+		g:       g,
+		cfg:     cfg,
+		cnt:     make([][2]int32, g.NumNets()),
+		own:     make([][2]uint32, g.NumCells()),
+		bestCut: math.MaxInt,
+	}
+	if cfg.PinExternal {
+		for ni := range g.Nets {
+			if g.Nets[ni].Ext != hypergraph.Internal {
+				s.cnt[ni][1]++
+			}
+		}
+	}
+	for ci := range g.Cells {
+		c := &g.Cells[ci]
+		m := len(c.Outputs)
+		if m == 0 {
+			return nil, fmt.Errorf("oracle: cell %q has no outputs", c.Name)
+		}
+		if m > 16 {
+			return nil, fmt.Errorf("oracle: cell %q has %d outputs, enumeration limit 16", c.Name, m)
+		}
+		all := uint32(1)<<uint(m) - 1
+		p := cellPlan{id: hypergraph.CellID(ci), area: c.Area, all: all}
+		p.col = make([]uint32, len(c.Inputs))
+		for i := 0; i < m; i++ {
+			for j := range c.Inputs {
+				if c.Dep[i].Get(j) {
+					p.col[j] |= 1 << uint(i)
+				}
+			}
+		}
+		if cfg.Replication {
+			p.configs = make([][2]uint32, 0, 1<<uint(m))
+			// Unreplicated placements first: the best solutions usually
+			// replicate few cells, so finding a good incumbent early
+			// tightens the bound before the splits are explored.
+			p.configs = append(p.configs, [2]uint32{all, 0}, [2]uint32{0, all})
+			for m0 := uint32(1); m0 < all; m0++ {
+				p.configs = append(p.configs, [2]uint32{m0, all &^ m0})
+			}
+		} else {
+			p.configs = [][2]uint32{{all, 0}, {0, all}}
+		}
+		s.plans = append(s.plans, p)
+	}
+	// Order cells by descending connectivity: high-degree cells decide
+	// many nets, so placing them first makes the cut bound bite early.
+	sort.SliceStable(s.plans, func(i, j int) bool {
+		return len(g.CellNets(s.plans[i].id)) > len(g.CellNets(s.plans[j].id))
+	})
+	s.remArea = make([]int, len(s.plans)+1)
+	for i := len(s.plans) - 1; i >= 0; i-- {
+		s.remArea[i] = s.remArea[i+1] + s.plans[i].area
+	}
+	return s, nil
+}
+
+// estimateLeaves returns the product of per-cell configuration counts,
+// saturating at math.MaxInt64.
+func (s *search) estimateLeaves() int64 {
+	est := int64(1)
+	for _, p := range s.plans {
+		est *= int64(len(p.configs))
+		if est < 0 || est > math.MaxInt64/64 {
+			return math.MaxInt64
+		}
+	}
+	return est
+}
+
+// inc activates one connection of net n in block b, updating the cut.
+func (s *search) inc(n hypergraph.NetID, b int) {
+	if s.cnt[n][b] == 0 && s.cnt[n][1-b] > 0 {
+		s.cut++
+	}
+	s.cnt[n][b]++
+}
+
+// dec undoes inc.
+func (s *search) dec(n hypergraph.NetID, b int) {
+	s.cnt[n][b]--
+	if s.cnt[n][b] == 0 && s.cnt[n][1-b] > 0 {
+		s.cut--
+	}
+}
+
+// apply activates cell p's connections for ownership own; undo reverses
+// it. A copy in block b connects its owned output nets and every input
+// net adjacent (via col) to an owned output.
+func (s *search) apply(p *cellPlan, own [2]uint32) {
+	c := &s.g.Cells[p.id]
+	for b := 0; b < 2; b++ {
+		mask := own[b]
+		if mask == 0 {
+			continue
+		}
+		s.area[b] += p.area
+		for pi, net := range c.Outputs {
+			if mask&(1<<uint(pi)) != 0 {
+				s.inc(net, b)
+			}
+		}
+		for pi, net := range c.Inputs {
+			if net != hypergraph.NilNet && mask&p.col[pi] != 0 {
+				s.inc(net, b)
+			}
+		}
+	}
+}
+
+func (s *search) undo(p *cellPlan, own [2]uint32) {
+	c := &s.g.Cells[p.id]
+	for b := 0; b < 2; b++ {
+		mask := own[b]
+		if mask == 0 {
+			continue
+		}
+		s.area[b] -= p.area
+		for pi, net := range c.Outputs {
+			if mask&(1<<uint(pi)) != 0 {
+				s.dec(net, b)
+			}
+		}
+		for pi, net := range c.Inputs {
+			if net != hypergraph.NilNet && mask&p.col[pi] != 0 {
+				s.dec(net, b)
+			}
+		}
+	}
+}
+
+func (s *search) dfs(i int) {
+	s.nodes++
+	if s.cut >= s.bestCut {
+		return // activity only grows: the cut cannot recover
+	}
+	if i == len(s.plans) {
+		if s.area[0] < s.cfg.MinArea[0] || s.area[1] < s.cfg.MinArea[1] {
+			return
+		}
+		s.bestCut = s.cut
+		s.bestOwn = make([][2]uint32, len(s.own))
+		copy(s.bestOwn, s.own)
+		return
+	}
+	p := &s.plans[i]
+	for _, cfgOwn := range p.configs {
+		// Area pruning: max bounds are monotone along the branch; min
+		// bounds use the suffix sum of what cells i+1.. can still add.
+		a0, a1 := s.area[0], s.area[1]
+		if cfgOwn[0] != 0 {
+			a0 += p.area
+		}
+		if cfgOwn[1] != 0 {
+			a1 += p.area
+		}
+		if a0 > s.cfg.MaxArea[0] || a1 > s.cfg.MaxArea[1] {
+			continue
+		}
+		rem := s.remArea[i+1]
+		if a0+rem < s.cfg.MinArea[0] || a1+rem < s.cfg.MinArea[1] {
+			continue
+		}
+		s.apply(p, cfgOwn)
+		s.own[p.id] = cfgOwn
+		s.dfs(i + 1)
+		s.own[p.id] = [2]uint32{}
+		s.undo(p, cfgOwn)
+	}
+}
+
+// CutOf evaluates the cut of an explicit ownership configuration
+// without searching — the reference evaluation tests use to cross-check
+// incremental bookkeeping (both the oracle's own and replication.
+// State's).
+func CutOf(g *hypergraph.Graph, own [][2]uint32, pinExternal bool) (int, error) {
+	if len(own) != g.NumCells() {
+		return 0, fmt.Errorf("oracle: %d ownership pairs for %d cells", len(own), g.NumCells())
+	}
+	cnt := make([][2]int32, g.NumNets())
+	if pinExternal {
+		for ni := range g.Nets {
+			if g.Nets[ni].Ext != hypergraph.Internal {
+				cnt[ni][1]++
+			}
+		}
+	}
+	for ci := range g.Cells {
+		c := &g.Cells[ci]
+		all := uint32(1)<<uint(len(c.Outputs)) - 1
+		if own[ci][0]&own[ci][1] != 0 || own[ci][0]|own[ci][1] != all {
+			return 0, fmt.Errorf("oracle: cell %q has invalid ownership %b/%b", c.Name, own[ci][0], own[ci][1])
+		}
+		for b := 0; b < 2; b++ {
+			mask := own[ci][b]
+			if mask == 0 {
+				continue
+			}
+			for pi, net := range c.Outputs {
+				if mask&(1<<uint(pi)) != 0 {
+					cnt[net][b]++
+				}
+			}
+			for pi, net := range c.Inputs {
+				if net == hypergraph.NilNet {
+					continue
+				}
+				var col uint32
+				for oi := range c.Outputs {
+					if c.Dep[oi].Get(pi) {
+						col |= 1 << uint(oi)
+					}
+				}
+				if mask&col != 0 {
+					cnt[net][b]++
+				}
+			}
+		}
+	}
+	cut := 0
+	for ni := range cnt {
+		if cnt[ni][0] > 0 && cnt[ni][1] > 0 {
+			cut++
+		}
+	}
+	return cut, nil
+}
+
+// Replicated returns the number of cells an ownership configuration
+// splits across both blocks.
+func Replicated(own [][2]uint32) int {
+	n := 0
+	for _, o := range own {
+		if o[0] != 0 && o[1] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AreaOf returns the active area per block of a configuration
+// (replicated cells count in both blocks).
+func AreaOf(g *hypergraph.Graph, own [][2]uint32) [2]int {
+	var area [2]int
+	for ci := range g.Cells {
+		for b := 0; b < 2; b++ {
+			if own[ci][b] != 0 {
+				area[b] += g.Cells[ci].Area
+			}
+		}
+	}
+	return area
+}

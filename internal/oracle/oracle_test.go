@@ -1,0 +1,272 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpgapart/internal/hypergraph"
+)
+
+// chain builds pi -> u0 -> u1 -> ... -> u{n-1} -> po, a path whose
+// optimal bipartition under loose bounds cuts exactly one net.
+func chain(t testing.TB, n int) *hypergraph.Graph {
+	t.Helper()
+	b := hypergraph.NewBuilder("chain")
+	prev := b.InputNet("pi")
+	for i := 0; i < n; i++ {
+		var out hypergraph.NetID
+		if i == n-1 {
+			out = b.OutputNet("po")
+		} else {
+			out = b.Net("")
+		}
+		b.AddCell(hypergraph.CellSpec{
+			Inputs:  []hypergraph.NetID{prev},
+			Outputs: []hypergraph.NetID{out},
+		})
+		prev = out
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// star builds one driver cell fanning out to n sink cells: any split
+// separating sinks from the driver cuts exactly the shared net.
+func star(t testing.TB, n int) *hypergraph.Graph {
+	t.Helper()
+	b := hypergraph.NewBuilder("star")
+	pi := b.InputNet("pi")
+	hub := b.Net("hub")
+	b.AddCell(hypergraph.CellSpec{Name: "drv", Inputs: []hypergraph.NetID{pi}, Outputs: []hypergraph.NetID{hub}})
+	for i := 0; i < n; i++ {
+		po := b.OutputNet("")
+		b.AddCell(hypergraph.CellSpec{Inputs: []hypergraph.NetID{hub}, Outputs: []hypergraph.NetID{po}})
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// twinCell builds a 2-output cell with disjoint input cones (ψ > 0):
+// splitting it across the blocks frees both cones.
+func twinCone(t testing.TB) *hypergraph.Graph {
+	t.Helper()
+	b := hypergraph.NewBuilder("twincone")
+	a := b.InputNet("a")
+	c := b.InputNet("c")
+	x := b.Net("x")
+	y := b.Net("y")
+	pox := b.OutputNet("pox")
+	poy := b.OutputNet("poy")
+	// The splittable cell: output x depends only on a, output y only on c.
+	b.AddCell(hypergraph.CellSpec{
+		Name:    "split",
+		Inputs:  []hypergraph.NetID{a, c},
+		Outputs: []hypergraph.NetID{x, y},
+		DepBits: [][]int{{1, 0}, {0, 1}},
+	})
+	b.AddCell(hypergraph.CellSpec{Name: "sx", Inputs: []hypergraph.NetID{x}, Outputs: []hypergraph.NetID{pox}})
+	b.AddCell(hypergraph.CellSpec{Name: "sy", Inputs: []hypergraph.NetID{y}, Outputs: []hypergraph.NetID{poy}})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func loose(g *hypergraph.Graph) Config {
+	return Config{MinArea: [2]int{1, 1}, MaxArea: [2]int{g.TotalArea(), g.TotalArea()}}
+}
+
+func TestChainOptimalCutIsOne(t *testing.T) {
+	g := chain(t, 6)
+	res, err := MinCut(g, loose(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != 1 {
+		t.Fatalf("chain optimal cut = %d, want 1", res.Cut)
+	}
+	if got, err := CutOf(g, res.Own, false); err != nil || got != res.Cut {
+		t.Fatalf("CutOf = %d (%v), want %d", got, err, res.Cut)
+	}
+}
+
+func TestChainBalancedStillOne(t *testing.T) {
+	g := chain(t, 8)
+	cfg := loose(g)
+	cfg.MinArea = [2]int{4, 4}
+	cfg.MaxArea = [2]int{4, 4}
+	res, err := MinCut(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != 1 {
+		t.Fatalf("balanced chain cut = %d, want 1", res.Cut)
+	}
+	if a := AreaOf(g, res.Own); a != [2]int{4, 4} {
+		t.Fatalf("areas %v, want [4 4]", a)
+	}
+}
+
+func TestStarOptimalCutIsOne(t *testing.T) {
+	g := star(t, 5)
+	res, err := MinCut(g, loose(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != 1 {
+		t.Fatalf("star optimal cut = %d, want 1 (hub net)", res.Cut)
+	}
+}
+
+// The ψ>0 cell: without replication a balanced split of the two cones
+// cuts an internal net; with replication the cell splits and the cut
+// drops to zero (each block is then a self-contained cone).
+func TestReplicationSplitsDisjointCones(t *testing.T) {
+	g := twinCone(t)
+	cfg := loose(g)
+	cfg.MinArea = [2]int{1, 1}
+	plain, err := MinCut(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cut < 1 {
+		t.Fatalf("plain cut = %d, want >= 1", plain.Cut)
+	}
+	cfg.Replication = true
+	repl, err := MinCut(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.Cut != 0 {
+		t.Fatalf("replicated cut = %d, want 0", repl.Cut)
+	}
+	if Replicated(repl.Own) != 1 {
+		t.Fatalf("replicated cells = %d, want 1", Replicated(repl.Own))
+	}
+	if got, err := CutOf(g, repl.Own, false); err != nil || got != 0 {
+		t.Fatalf("CutOf = %d (%v), want 0", got, err)
+	}
+}
+
+func TestPinExternalEqualsTerminalObjective(t *testing.T) {
+	// On the chain with pinning, placing everything in block 1 gives
+	// t_P0 = 0 but violates MinArea[0]; with MinArea 1 per block the
+	// best carve takes a chain end, using 2 block-0 IOB nets at the pi
+	// end (pi + the cut net) or 2 at the po end.
+	g := chain(t, 6)
+	cfg := loose(g)
+	cfg.PinExternal = true
+	res, err := MinCut(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != 2 {
+		t.Fatalf("pinned chain t_P0 = %d, want 2", res.Cut)
+	}
+}
+
+func TestInfeasibleBounds(t *testing.T) {
+	g := chain(t, 4)
+	cfg := Config{MinArea: [2]int{3, 3}, MaxArea: [2]int{4, 4}}
+	if _, err := MinCut(g, cfg); err == nil {
+		t.Fatal("want infeasibility error: 4 cells cannot fill 3+3 without replication")
+	}
+}
+
+func TestSizeGuards(t *testing.T) {
+	g := chain(t, 14)
+	if _, err := MinCut(g, loose(g)); err == nil {
+		t.Fatal("want size-limit error above DefaultMaxCells")
+	}
+	cfg := loose(g)
+	cfg.MaxCells = 14
+	if _, err := MinCut(g, cfg); err != nil {
+		t.Fatalf("MaxCells override rejected: %v", err)
+	}
+	cfg.MaxStates = 3
+	if _, err := MinCut(g, cfg); err == nil {
+		t.Fatal("want state-budget error")
+	}
+}
+
+// TestCutOfAgreesOnRandomConfigs cross-checks the incremental search
+// bookkeeping against the from-scratch evaluator on random ownership
+// configurations of corpus circuits.
+func TestCutOfAgreesOnRandomConfigs(t *testing.T) {
+	corpus, err := Corpus(CorpusParams{Cases: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for gi, g := range corpus {
+		for _, repl := range []bool{false, true} {
+			cfg := loose(g)
+			cfg.Replication = repl
+			res, err := MinCut(g, cfg)
+			if err != nil {
+				t.Fatalf("case %d: %v", gi, err)
+			}
+			if got, err := CutOf(g, res.Own, false); err != nil || got != res.Cut {
+				t.Fatalf("case %d repl=%v: search cut %d, CutOf %d (%v)", gi, repl, res.Cut, got, err)
+			}
+			// And a handful of random configurations must never beat
+			// the reported optimum.
+			for trial := 0; trial < 32; trial++ {
+				own := make([][2]uint32, g.NumCells())
+				for ci := range g.Cells {
+					all := uint32(1)<<uint(len(g.Cells[ci].Outputs)) - 1
+					var m0 uint32
+					if repl {
+						m0 = uint32(r.Intn(int(all) + 1))
+					} else if r.Intn(2) == 0 {
+						m0 = all
+					}
+					own[ci] = [2]uint32{m0, all &^ m0}
+				}
+				cut, err := CutOf(g, own, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				area := AreaOf(g, own)
+				if area[0] < 1 || area[1] < 1 {
+					continue // outside the bounds the oracle searched
+				}
+				if cut < res.Cut {
+					t.Fatalf("case %d repl=%v: random config cut %d beats oracle %d", gi, repl, cut, res.Cut)
+				}
+			}
+		}
+	}
+}
+
+func TestCorpusDeterministicAndSized(t *testing.T) {
+	a, err := Corpus(CorpusParams{Cases: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Corpus(CorpusParams{Cases: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 40 || len(b) != 40 {
+		t.Fatalf("corpus sizes %d/%d, want 40", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].NumCells() != b[i].NumCells() || a[i].NumNets() != b[i].NumNets() {
+			t.Fatalf("case %d not deterministic", i)
+		}
+		if a[i].NumCells() > 10 {
+			t.Fatalf("case %d has %d cells, corpus cap is 10", i, a[i].NumCells())
+		}
+		if err := a[i].Validate(); err != nil {
+			t.Fatalf("case %d invalid: %v", i, err)
+		}
+	}
+}

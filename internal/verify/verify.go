@@ -4,6 +4,12 @@
 // consistent), the single-producer property of functional replication
 // (every net is driven in exactly one part), and exact IOB accounting
 // (the parts' terminal counts sum to what the nets' spans imply).
+//
+// The package deliberately depends only on the substrate packages
+// (hypergraph, library, metrics) so that the partitioners themselves
+// can invoke it in-loop: kway.Options.Verify runs these checks on
+// every accepted carve and every feasible solution the search
+// generates.
 package verify
 
 import (
@@ -11,22 +17,32 @@ import (
 	"strings"
 
 	"fpgapart/internal/hypergraph"
-	"fpgapart/internal/kway"
+	"fpgapart/internal/library"
+	"fpgapart/internal/metrics"
 )
 
-// Partition runs every check and returns the first violation.
-func Partition(src *hypergraph.Graph, res kway.Result) error {
-	if len(res.Parts) == 0 {
+// Part pairs one partition subcircuit with the device implementing it.
+type Part struct {
+	Graph  *hypergraph.Graph
+	Device library.Device
+}
+
+// Partition runs every check against a complete k-way solution and
+// returns the first violation. sum must be the solution summary whose
+// rows correspond to parts index-by-index.
+func Partition(src *hypergraph.Graph, parts []Part, sum metrics.Solution) error {
+	if len(parts) == 0 {
 		return fmt.Errorf("verify: empty partition")
 	}
-	if len(res.Parts) != len(res.Summary.Parts) {
-		return fmt.Errorf("verify: %d parts but %d summary rows", len(res.Parts), len(res.Summary.Parts))
+	if len(parts) != len(sum.Parts) {
+		return fmt.Errorf("verify: %d parts but %d summary rows", len(parts), len(sum.Parts))
 	}
-	for i, p := range res.Parts {
+	graphs := make([]*hypergraph.Graph, len(parts))
+	for i, p := range parts {
 		if err := p.Graph.Validate(); err != nil {
 			return fmt.Errorf("verify: part %d: %w", i, err)
 		}
-		row := res.Summary.Parts[i]
+		row := sum.Parts[i]
 		if row.CLBs != p.Graph.TotalArea() || row.Terminals != p.Graph.NumTerminals() || row.Cells != p.Graph.NumCells() {
 			return fmt.Errorf("verify: part %d summary row disagrees with its graph", i)
 		}
@@ -34,39 +50,78 @@ func Partition(src *hypergraph.Graph, res kway.Result) error {
 			return fmt.Errorf("verify: part %d (%d CLBs, %d terminals) does not fit %s",
 				i, p.Graph.TotalArea(), p.Graph.NumTerminals(), p.Device.Name)
 		}
+		graphs[i] = p.Graph
 	}
-	if err := cellCoverage(src, res); err != nil {
+	if err := cellCoverage(src, graphs, sum.ReplicatedCells()); err != nil {
 		return err
 	}
-	if err := singleProducer(src, res); err != nil {
+	if err := singleProducer(src, graphs); err != nil {
 		return err
 	}
-	return iobAccounting(src, res)
+	return iobAccounting(src, graphs)
 }
 
-// baseName strips replica suffixes: "u7$r$r" -> "u7".
-func baseName(name string) string {
-	for strings.HasSuffix(name, "$r") {
+// Split checks the structural invariants of an intermediate split —
+// e.g. one accepted carve of the recursive k-way search — without any
+// device or summary context: every block is a valid circuit, cells
+// cover the source exactly (replicas identified by the "$r" naming
+// convention), every net keeps a single producer, and the blocks'
+// terminal counts match the span accounting.
+func Split(src *hypergraph.Graph, blocks ...*hypergraph.Graph) error {
+	if len(blocks) == 0 {
+		return fmt.Errorf("verify: empty split")
+	}
+	for i, b := range blocks {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("verify: block %d: %w", i, err)
+		}
+	}
+	if err := cellCoverage(src, blocks, -1); err != nil {
+		return err
+	}
+	if err := singleProducer(src, blocks); err != nil {
+		return err
+	}
+	return iobAccounting(src, blocks)
+}
+
+// baseName resolves a part cell name to the source cell it copies:
+// replica copies append "$r", so strip one suffix at a time until a
+// known source name appears. Source names may themselves end in "$r"
+// when the source is an intermediate block of the recursive carve, so
+// a direct hit always wins over further stripping.
+func baseName(known map[string]bool, name string) (string, bool) {
+	for {
+		if known[name] {
+			return name, true
+		}
+		if !strings.HasSuffix(name, "$r") {
+			return name, false
+		}
 		name = strings.TrimSuffix(name, "$r")
 	}
-	return name
 }
 
 // cellCoverage checks that every source cell appears at least once,
-// that only known cells appear, and that the instance count equals
-// source cells plus reported replicas.
-func cellCoverage(src *hypergraph.Graph, res kway.Result) error {
+// that only known cells (or their "$r" replica copies) appear, and
+// that the instance count equals source cells plus replicas. A
+// wantReplicas >= 0 additionally cross-checks the replica count the
+// caller's summary reported.
+func cellCoverage(src *hypergraph.Graph, parts []*hypergraph.Graph, wantReplicas int) error {
 	known := make(map[string]bool, src.NumCells())
 	for i := range src.Cells {
 		known[src.Cells[i].Name] = true
 	}
 	counts := make(map[string]int, src.NumCells())
-	instances := 0
-	for pi, p := range res.Parts {
-		for i := range p.Graph.Cells {
-			name := baseName(p.Graph.Cells[i].Name)
-			if !known[name] {
-				return fmt.Errorf("verify: part %d contains unknown cell %q", pi, p.Graph.Cells[i].Name)
+	instances, replicas := 0, 0
+	for pi, p := range parts {
+		for i := range p.Cells {
+			name, ok := baseName(known, p.Cells[i].Name)
+			if !ok {
+				return fmt.Errorf("verify: part %d contains unknown cell %q", pi, p.Cells[i].Name)
+			}
+			if name != p.Cells[i].Name {
+				replicas++
 			}
 			counts[name]++
 			instances++
@@ -77,9 +132,12 @@ func cellCoverage(src *hypergraph.Graph, res kway.Result) error {
 			return fmt.Errorf("verify: source cell %q missing from every part", name)
 		}
 	}
-	if want := src.NumCells() + res.Summary.ReplicatedCells(); instances != want {
+	if want := src.NumCells() + replicas; instances != want {
 		return fmt.Errorf("verify: %d instances, want %d source + %d replicas",
-			instances, src.NumCells(), res.Summary.ReplicatedCells())
+			instances, src.NumCells(), replicas)
+	}
+	if wantReplicas >= 0 && replicas != wantReplicas {
+		return fmt.Errorf("verify: summary reports %d replicas, parts contain %d", wantReplicas, replicas)
 	}
 	return nil
 }
@@ -87,15 +145,15 @@ func cellCoverage(src *hypergraph.Graph, res kway.Result) error {
 // singleProducer checks functional replication's core invariant: every
 // cell-driven net of the source circuit is driven in exactly one part
 // (outputs are partitioned between copies, never duplicated).
-func singleProducer(src *hypergraph.Graph, res kway.Result) error {
+func singleProducer(src *hypergraph.Graph, parts []*hypergraph.Graph) error {
 	srcNet := make(map[string]hypergraph.ExtKind, src.NumNets())
 	for i := range src.Nets {
 		srcNet[src.Nets[i].Name] = src.Nets[i].Ext
 	}
 	drivers := make(map[string]int)
-	for pi, p := range res.Parts {
-		for ni := range p.Graph.Nets {
-			net := &p.Graph.Nets[ni]
+	for pi, p := range parts {
+		for ni := range p.Nets {
+			net := &p.Nets[ni]
 			kind, known := srcNet[net.Name]
 			if !known {
 				return fmt.Errorf("verify: part %d contains unknown net %q", pi, net.Name)
@@ -128,7 +186,7 @@ func singleProducer(src *hypergraph.Graph, res kway.Result) error {
 // iobAccounting recomputes every part's terminal demand from the nets'
 // spans: a net consumes one IOB in each part it touches when it is
 // external in the source or it touches more than one part.
-func iobAccounting(src *hypergraph.Graph, res kway.Result) error {
+func iobAccounting(src *hypergraph.Graph, parts []*hypergraph.Graph) error {
 	ext := make(map[string]bool, src.NumNets())
 	for i := range src.Nets {
 		if src.Nets[i].Ext != hypergraph.Internal {
@@ -136,20 +194,20 @@ func iobAccounting(src *hypergraph.Graph, res kway.Result) error {
 		}
 	}
 	touch := make(map[string]int)
-	for _, p := range res.Parts {
-		for ni := range p.Graph.Nets {
-			touch[p.Graph.Nets[ni].Name]++
+	for _, p := range parts {
+		for ni := range p.Nets {
+			touch[p.Nets[ni].Name]++
 		}
 	}
-	for pi, p := range res.Parts {
+	for pi, p := range parts {
 		want := 0
-		for ni := range p.Graph.Nets {
-			name := p.Graph.Nets[ni].Name
+		for ni := range p.Nets {
+			name := p.Nets[ni].Name
 			if ext[name] || touch[name] > 1 {
 				want++
 			}
 		}
-		if got := p.Graph.NumTerminals(); got != want {
+		if got := p.NumTerminals(); got != want {
 			return fmt.Errorf("verify: part %d has %d terminals, span accounting expects %d", pi, got, want)
 		}
 	}

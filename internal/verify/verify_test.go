@@ -4,165 +4,83 @@ import (
 	"strings"
 	"testing"
 
-	"fpgapart/internal/bench"
-	"fpgapart/internal/fm"
 	"fpgapart/internal/hypergraph"
-	"fpgapart/internal/kway"
-	"fpgapart/internal/library"
 )
 
-func partitioned(t *testing.T, threshold int, seed int64) (*hypergraph.Graph, kway.Result) {
-	t.Helper()
-	g, err := bench.Generate(bench.Params{
-		Name: "vfy", Cells: 350, PrimaryIn: 20, PrimaryOut: 12, DFFs: 60,
-		Clustering: 0.55, Seed: seed,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := kway.Partition(g, kway.Options{
-		Library: library.XC3000(), Threshold: threshold, Solutions: 4, Seed: seed,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return g, res
-}
-
-func TestPartitionVerifiesBaseline(t *testing.T) {
-	g, res := partitioned(t, fm.NoReplication, 1)
-	if err := Partition(g, res); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestPartitionVerifiesWithReplication(t *testing.T) {
-	for seed := int64(2); seed <= 5; seed++ {
-		g, res := partitioned(t, 0, seed)
-		if err := Partition(g, res); err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-	}
-}
-
-func TestDetectsMissingCell(t *testing.T) {
-	g, res := partitioned(t, fm.NoReplication, 6)
-	// Rename a cell to break coverage.
-	res.Parts[0].Graph.Cells[0].Name = "ghost"
-	err := Partition(g, res)
-	if err == nil || !strings.Contains(err.Error(), "unknown cell") {
-		t.Fatalf("want unknown-cell error, got %v", err)
-	}
-}
-
-func TestDetectsSummaryMismatch(t *testing.T) {
-	g, res := partitioned(t, fm.NoReplication, 7)
-	res.Summary.Parts[0].CLBs++
-	err := Partition(g, res)
-	if err == nil || !strings.Contains(err.Error(), "summary row") {
-		t.Fatalf("want summary error, got %v", err)
-	}
-}
-
-func TestDetectsInfeasibleDevice(t *testing.T) {
-	g, res := partitioned(t, fm.NoReplication, 8)
-	res.Parts[0].Device = library.Device{Name: "tiny", CLBs: 4, IOBs: 4, Price: 1, HighUtil: 1}
-	res.Summary.Parts[0].Device = res.Parts[0].Device
-	err := Partition(g, res)
-	if err == nil || !strings.Contains(err.Error(), "does not fit") {
-		t.Fatalf("want feasibility error, got %v", err)
-	}
-}
-
-func TestDetectsEmpty(t *testing.T) {
-	g, _ := partitioned(t, fm.NoReplication, 9)
-	if err := Partition(g, kway.Result{}); err == nil {
-		t.Fatal("want error for empty result")
-	}
-}
-
 func TestBaseName(t *testing.T) {
-	for in, want := range map[string]string{
-		"u7": "u7", "u7$r": "u7", "u7$r$r": "u7", "x$ry": "x$ry",
+	known := map[string]bool{"u7": true, "v3$r": true}
+	for _, tc := range []struct {
+		in, want string
+		ok       bool
+	}{
+		{"u7", "u7", true},
+		{"u7$r", "u7", true},
+		{"u7$r$r", "u7", true},
+		// A known name ending in "$r" (an intermediate carve block's own
+		// cell) resolves to itself, and its replica strips one suffix.
+		{"v3$r", "v3$r", true},
+		{"v3$r$r", "v3$r", true},
+		{"x$ry", "x$ry", false},
+		{"ghost", "ghost", false},
 	} {
-		if got := baseName(in); got != want {
-			t.Fatalf("baseName(%q) = %q", in, got)
+		got, ok := baseName(known, tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Fatalf("baseName(%q) = %q, %v; want %q, %v", tc.in, got, ok, tc.want, tc.ok)
 		}
 	}
 }
 
-func TestDetectsDoubleProducer(t *testing.T) {
-	g, res := partitioned(t, 0, 10)
-	if len(res.Parts) < 2 {
-		t.Skip("need k >= 2")
+// chain builds the 2-cell circuit pi -> u0 -> w -> u1 -> po.
+func chain(t *testing.T) *hypergraph.Graph {
+	t.Helper()
+	b := hypergraph.NewBuilder("chain")
+	pi := b.InputNet("pi")
+	w := b.Net("w")
+	po := b.OutputNet("po")
+	b.AddCell(hypergraph.CellSpec{Name: "u0", Inputs: []hypergraph.NetID{pi}, Outputs: []hypergraph.NetID{w}})
+	b.AddCell(hypergraph.CellSpec{Name: "u1", Inputs: []hypergraph.NetID{w}, Outputs: []hypergraph.NetID{po}})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Graft a fake driver of part 1's first externally-driven net into
-	// part 0... simplest corruption: rename one of part 0's internal
-	// nets to a net that part 1 drives.
-	var victim string
-	p1 := res.Parts[1].Graph
-	for ni := range p1.Nets {
-		hasDriver := false
-		for _, cn := range p1.Nets[ni].Conns {
-			if cn.Out {
-				hasDriver = true
-			}
-		}
-		if hasDriver && p1.Nets[ni].Ext == hypergraph.Internal {
-			victim = p1.Nets[ni].Name
-			break
-		}
+	return g
+}
+
+// block materializes one side of the chain split by hand: the named
+// cell with its nets, the shared net w external on both sides.
+func chainBlock(t *testing.T, side int) *hypergraph.Graph {
+	t.Helper()
+	b := hypergraph.NewBuilder("chain.side")
+	if side == 0 {
+		pi := b.InputNet("pi")
+		w := b.OutputNet("w")
+		b.AddCell(hypergraph.CellSpec{Name: "u0", Inputs: []hypergraph.NetID{pi}, Outputs: []hypergraph.NetID{w}})
+	} else {
+		w := b.InputNet("w")
+		po := b.OutputNet("po")
+		b.AddCell(hypergraph.CellSpec{Name: "u1", Inputs: []hypergraph.NetID{w}, Outputs: []hypergraph.NetID{po}})
 	}
-	if victim == "" {
-		t.Skip("no internal driven net in part 1")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
 	}
-	p0 := res.Parts[0].Graph
-	renamed := false
-	for ni := range p0.Nets {
-		hasDriver := false
-		for _, cn := range p0.Nets[ni].Conns {
-			if cn.Out {
-				hasDriver = true
-			}
-		}
-		if hasDriver && p0.Nets[ni].Ext == hypergraph.Internal && p0.Nets[ni].Name != victim {
-			p0.Nets[ni].Name = victim
-			renamed = true
-			break
-		}
-	}
-	if !renamed {
-		t.Skip("no internal driven net in part 0")
-	}
-	err := Partition(g, res)
-	if err == nil {
-		t.Fatal("expected a verification failure after corruption")
+	return g
+}
+
+func TestSplitAcceptsHandmadeCut(t *testing.T) {
+	src := chain(t)
+	if err := Split(src, chainBlock(t, 0), chainBlock(t, 1)); err != nil {
+		t.Fatal(err)
 	}
 }
 
-func TestDetectsIOBMiscount(t *testing.T) {
-	g, res := partitioned(t, fm.NoReplication, 11)
-	// Flip an internal net of part 0 to external: terminal accounting
-	// (or validation) must notice.
-	p0 := res.Parts[0].Graph
-	for ni := range p0.Nets {
-		if p0.Nets[ni].Ext == hypergraph.Internal {
-			hasDriver := false
-			for _, cn := range p0.Nets[ni].Conns {
-				if cn.Out {
-					hasDriver = true
-				}
-			}
-			if hasDriver {
-				p0.Nets[ni].Ext = hypergraph.ExtOut
-				break
-			}
-		}
+func TestSplitRejectsEmptyAndMissing(t *testing.T) {
+	src := chain(t)
+	if err := Split(src); err == nil {
+		t.Fatal("want error for empty split")
 	}
-	// Keep the summary row consistent so the IOB accounting check is
-	// the one that fires.
-	res.Summary.Parts[0].Terminals = p0.NumTerminals()
-	if err := Partition(g, res); err == nil {
-		t.Fatal("expected IOB accounting failure")
+	err := Split(src, chainBlock(t, 0))
+	if err == nil || !strings.Contains(err.Error(), "missing from every part") {
+		t.Fatalf("want missing-cell error, got %v", err)
 	}
 }
