@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/core"
+	"fpgapart/internal/fm"
+	"fpgapart/internal/replication"
+)
+
+// benchPoint is one trajectory sample: the speed of a hot path at a
+// fixed, reduced scale plus the quality it reaches at a fixed seed.
+// Successive points are comparable because circuit, scale and seed
+// never change.
+type benchPoint struct {
+	Name        string  `json:"name"`
+	Circuit     string  `json:"circuit"`
+	Scale       int     `json:"scale"`
+	Seed        int64   `json:"seed"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Cut         int     `json:"cut,omitempty"`
+	DeviceCost  float64 `json:"device_cost,omitempty"`
+}
+
+const (
+	benchCircuit = "s13207"
+	benchScale   = 2
+	benchSeed    = 1
+)
+
+// writeBenchJSON samples the two engine hot paths (one FM
+// bipartitioning run, one full k-way search) and records them as
+// BENCH_fm.json and BENCH_kway.json in dir. The seed is pinned so the
+// quality columns are deterministic; only the timing columns move as
+// the engines change.
+func writeBenchJSON(dir string) error {
+	c, ok := bench.ByName(benchCircuit)
+	if !ok {
+		panic("benchjson: unknown circuit " + benchCircuit)
+	}
+	g, err := c.Small(benchScale).Build()
+	if err != nil {
+		return err
+	}
+
+	var cut int
+	fmRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		minA, maxA := fm.Balance(g.TotalArea(), 0.05)
+		for i := 0; i < b.N; i++ {
+			st, err := replication.NewState(g, fm.RandomAssign(g, benchSeed))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := fm.Run(st, fm.Config{MinArea: minA, MaxArea: maxA, Threshold: fm.NoReplication, Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.Cut
+		}
+	})
+
+	var cost float64
+	kwayRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Partition(g, core.Options{Solutions: 3, Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = res.Summary.DeviceCost()
+		}
+	})
+
+	points := []struct {
+		file  string
+		point benchPoint
+	}{
+		{"BENCH_fm.json", point("fm_bipartition", fmRes, cut, 0)},
+		{"BENCH_kway.json", point("kway_partition", kwayRes, 0, cost)},
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, p := range points {
+		buf, err := json.MarshalIndent(p.point, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(filepath.Join(dir, p.file), buf, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func point(name string, r testing.BenchmarkResult, cut int, cost float64) benchPoint {
+	return benchPoint{
+		Name:        name,
+		Circuit:     benchCircuit,
+		Scale:       benchScale,
+		Seed:        benchSeed,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Cut:         cut,
+		DeviceCost:  cost,
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"fpgapart/internal/expt"
 	"fpgapart/internal/library"
+	"fpgapart/internal/prof"
 )
 
 func main() {
@@ -31,6 +32,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "experiment seed")
 	only := flag.String("only", "", "comma-separated subset: 1,2,f3,3,4,5,6,7,h (h = homogeneous appendix)")
 	csvDir := flag.String("csv", "", "also write raw experiment data as CSV files into this directory")
+	benchJSON := flag.String("benchjson", "", "write BENCH_fm.json and BENCH_kway.json trajectory points into this directory and exit")
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := expt.Config{Runs: *runs, Solutions: *solutions, Scale: *scale, Seed: *seed}
@@ -47,7 +50,20 @@ func main() {
 			want[strings.TrimSpace(k)] = true
 		}
 	}
-	if err := run(cfg, want, *csvDir); err != nil {
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+	if *benchJSON != "" {
+		err = writeBenchJSON(*benchJSON)
+	} else {
+		err = run(cfg, want, *csvDir)
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
 	}

@@ -23,6 +23,7 @@ import (
 	"fpgapart/internal/core"
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/netlist"
+	"fpgapart/internal/prof"
 	"fpgapart/internal/report"
 	"fpgapart/internal/techmap"
 )
@@ -36,13 +37,23 @@ func main() {
 	check := flag.Bool("verify", false, "verify every accepted carve and solution in-loop, plus the final result")
 	outDir := flag.String("o", "", "write each part as <dir>/<circuit>.pN.clb")
 	jsonOut := flag.Bool("json", false, "print the solution summary as JSON")
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: kpart [flags] <circuit.clb|circuit.gnl>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *threshold, *solutions, *seed, *gate || strings.HasSuffix(flag.Arg(0), ".gnl"), *verbose, *check, *outDir, *jsonOut); err != nil {
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kpart:", err)
+		os.Exit(1)
+	}
+	err = run(flag.Arg(0), *threshold, *solutions, *seed, *gate || strings.HasSuffix(flag.Arg(0), ".gnl"), *verbose, *check, *outDir, *jsonOut)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "kpart:", err)
 		os.Exit(1)
 	}

@@ -61,6 +61,7 @@ func Bipartition(g *hypergraph.Graph, opts Options) (*replication.State, Result,
 	}
 	var bestState *replication.State
 	bestCut, totPasses, totMoves := 0, 0, 0
+	var runner Runner // engine buffers shared across starts
 	for s := 0; s < opts.Starts; s++ {
 		cfg := opts.Config
 		cfg.Seed = opts.Seed + int64(s)*7919
@@ -68,7 +69,7 @@ func Bipartition(g *hypergraph.Graph, opts Options) (*replication.State, Result,
 		if err != nil {
 			return nil, Result{}, err
 		}
-		res, err := Run(st, cfg)
+		res, err := runner.Run(st, cfg)
 		if err != nil {
 			return nil, Result{}, fmt.Errorf("fm: start %d: %w", s, err)
 		}

@@ -21,34 +21,100 @@ func ClusterAssign(g *hypergraph.Graph, seed int64, targetArea int) []replicatio
 // -1 to pick a peripheral cell (one touching an external net), which
 // produces carves with a single boundary instead of an island with two.
 func ClusterAssignFrom(g *hypergraph.Graph, seed int64, start hypergraph.CellID, targetArea int) []replication.Block {
+	var cs ClusterScratch
+	return cs.AssignInto(nil, g, seed, start, targetArea)
+}
+
+// ClusterScratch holds the reusable buffers of the cluster-growing
+// assignment. A zero value is ready to use; reusing one across calls on
+// graphs of similar size eliminates all steady-state allocations.
+type ClusterScratch struct {
+	visited []bool
+	queue   []hypergraph.CellID
+	netSeen []uint32 // per net: epoch stamp for duplicate suppression
+	cellSeen []uint32 // per cell: epoch stamp (peripheral scan)
+	periph  []hypergraph.CellID
+	epoch   uint32
+}
+
+func (cs *ClusterScratch) grow(numCells, numNets int) {
+	if cap(cs.visited) < numCells {
+		cs.visited = make([]bool, numCells)
+		cs.cellSeen = make([]uint32, numCells)
+	}
+	cs.visited = cs.visited[:numCells]
+	cs.cellSeen = cs.cellSeen[:numCells]
+	for i := range cs.visited {
+		cs.visited[i] = false
+	}
+	if cap(cs.netSeen) < numNets {
+		cs.netSeen = make([]uint32, numNets)
+	}
+	cs.netSeen = cs.netSeen[:numNets]
+	cs.epoch++
+	if cs.epoch == 0 {
+		for i := range cs.netSeen {
+			cs.netSeen[i] = 0
+		}
+		for i := range cs.cellSeen {
+			cs.cellSeen[i] = 0
+		}
+		cs.epoch = 1
+	}
+	cs.queue = cs.queue[:0]
+}
+
+// AssignInto is ClusterAssignFrom writing into assign (grown when too
+// small) and reusing the scratch buffers; it returns the assignment
+// slice.
+func (cs *ClusterScratch) AssignInto(assign []replication.Block, g *hypergraph.Graph, seed int64, start hypergraph.CellID, targetArea int) []replication.Block {
 	r := rand.New(rand.NewSource(seed))
 	n := g.NumCells()
-	assign := make([]replication.Block, n)
+	if cap(assign) < n {
+		assign = make([]replication.Block, n)
+	}
+	assign = assign[:n]
 	for i := range assign {
 		assign[i] = 1
 	}
 	if targetArea <= 0 || n == 0 {
 		return assign
 	}
+	cs.grow(n, g.NumNets())
 	if start < 0 {
-		start = peripheralCell(g, r)
+		start = cs.peripheralCell(g, r)
 	}
-	visited := make([]bool, n)
-	queue := make([]hypergraph.CellID, 0, n)
 	area := 0
 	enqueue := func(c hypergraph.CellID) {
-		if !visited[c] {
-			visited[c] = true
-			queue = append(queue, c)
+		if !cs.visited[c] {
+			cs.visited[c] = true
+			cs.queue = append(cs.queue, c)
+		}
+	}
+	// visitNets walks the cell's distinct nets in pin order (outputs
+	// first), enqueuing every connected cell — the allocation-free
+	// equivalent of ranging over g.CellNets(c).
+	visitNet := func(net hypergraph.NetID) {
+		if cs.netSeen[net] == cs.epoch {
+			return
+		}
+		cs.netSeen[net] = cs.epoch
+		if len(g.Nets[net].Conns) > 32 {
+			// Skip very high fanout nets (clock-like); they do not
+			// indicate locality.
+			return
+		}
+		for _, cn := range g.Nets[net].Conns {
+			enqueue(cn.Cell)
 		}
 	}
 	enqueue(start)
 	for area < targetArea {
-		if len(queue) == 0 {
+		if len(cs.queue) == 0 {
 			// Disconnected remainder: restart from an unvisited cell.
 			rest := -1
 			for i := 0; i < n; i++ {
-				if !visited[i] {
+				if !cs.visited[i] {
 					rest = i
 					break
 				}
@@ -60,23 +126,22 @@ func ClusterAssignFrom(g *hypergraph.Graph, seed int64, start hypergraph.CellID,
 			continue
 		}
 		// Pop a random frontier element for variety across seeds.
-		idx := r.Intn(len(queue))
-		c := queue[idx]
-		queue[idx] = queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
+		idx := r.Intn(len(cs.queue))
+		c := cs.queue[idx]
+		cs.queue[idx] = cs.queue[len(cs.queue)-1]
+		cs.queue = cs.queue[:len(cs.queue)-1]
 		if area+g.Cells[c].Area > targetArea && area > 0 {
 			continue
 		}
 		assign[c] = 0
 		area += g.Cells[c].Area
-		for _, net := range g.CellNets(c) {
-			if len(g.Nets[net].Conns) > 32 {
-				// Skip very high fanout nets (clock-like); they do not
-				// indicate locality.
-				continue
-			}
-			for _, cn := range g.Nets[net].Conns {
-				enqueue(cn.Cell)
+		cell := &g.Cells[c]
+		for _, net := range cell.Outputs {
+			visitNet(net)
+		}
+		for _, net := range cell.Inputs {
+			if net != hypergraph.NilNet {
+				visitNet(net)
 			}
 		}
 	}
@@ -85,22 +150,21 @@ func ClusterAssignFrom(g *hypergraph.Graph, seed int64, start hypergraph.CellID,
 
 // peripheralCell picks a random cell adjacent to an external net, or
 // any cell when the circuit has no terminals.
-func peripheralCell(g *hypergraph.Graph, r *rand.Rand) hypergraph.CellID {
-	var periph []hypergraph.CellID
-	seen := make(map[hypergraph.CellID]bool)
+func (cs *ClusterScratch) peripheralCell(g *hypergraph.Graph, r *rand.Rand) hypergraph.CellID {
+	cs.periph = cs.periph[:0]
 	for ni := range g.Nets {
 		if g.Nets[ni].Ext == hypergraph.Internal {
 			continue
 		}
 		for _, cn := range g.Nets[ni].Conns {
-			if !seen[cn.Cell] {
-				seen[cn.Cell] = true
-				periph = append(periph, cn.Cell)
+			if cs.cellSeen[cn.Cell] != cs.epoch {
+				cs.cellSeen[cn.Cell] = cs.epoch
+				cs.periph = append(cs.periph, cn.Cell)
 			}
 		}
 	}
-	if len(periph) == 0 {
+	if len(cs.periph) == 0 {
 		return hypergraph.CellID(r.Intn(g.NumCells()))
 	}
-	return periph[r.Intn(len(periph))]
+	return cs.periph[r.Intn(len(cs.periph))]
 }

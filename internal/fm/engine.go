@@ -5,6 +5,13 @@
 // replication with the best output split, or unreplication — locking
 // each cell after it participates once, and finally rolls back to the
 // best prefix. Passes repeat until a pass yields no improvement.
+//
+// The gain buckets are the classic intrusive doubly-linked structure:
+// every candidate move of every cell owns a fixed slot in a node pool
+// sized once per graph, and bucket membership is a head pointer per
+// gain value plus prev/next links in the nodes. Removal and reinsertion
+// are O(1), the buckets never hold stale entries, and a steady-state
+// pass performs no heap allocations (see TestFMPassAllocs).
 package fm
 
 import (
@@ -52,32 +59,107 @@ type Result struct {
 	Moves  int // applied moves across all passes (before rollbacks)
 }
 
-type entry struct {
-	cell  hypergraph.CellID
-	move  replication.Move
-	gain  int
-	stamp uint32
+const nilNode = int32(-1)
+
+// node is one candidate move's slot in the gain-bucket pool. A node is
+// in a bucket iff bucket >= 0; prev/next link it into that bucket's
+// doubly-linked list (prev == nilNode at the head).
+type node struct {
+	move   replication.Move
+	prev   int32
+	next   int32
+	bucket int32
 }
 
+// engine holds the per-run mutable state. The pool/base slot layout and
+// bucket head array are graph-derived and reused across runs on the
+// same graph (see bind), which is what makes carve retries in the k-way
+// partitioner allocation-free after warm-up.
 type engine struct {
-	st       *replication.State
-	cfg      Config
-	gainOf   int // bucket offset = max |gain|
-	bucket   [][]entry
-	maxPtr   int
-	stamp    []uint32
-	locked   []bool
-	order    []hypergraph.CellID
+	st     *replication.State
+	cfg    Config
+	gainOf int // bucket offset = max |gain| = max cell degree
+	pool   []node
+	base   []int32 // per cell: first pool slot; base[n] = len(pool)
+	head   []int32 // per bucket: first node, nilNode when empty
+	maxPtr int
+	locked []bool
+	order  []hypergraph.CellID
 	scratch  []hypergraph.CellID
+	best     replication.Checkpoint // per-pass best-prefix snapshot
 	replOnly bool
+}
+
+// Per-cell slot layout (see bind): single-output cells get one slot
+// (the single move); multi-output cells additionally get the two
+// unreplication merges and one slot per candidate carry mask.
+const (
+	slotSingle = 0
+	slotUnrep0 = 1
+	slotUnrep1 = 2
+	slotSplit0 = 3
+)
+
+// Runner executes FM runs, reusing the engine's pool, bucket and
+// scratch buffers across runs. A zero Runner is ready to use; a Runner
+// is not safe for concurrent use. The package-level Run is a
+// convenience for one-shot use.
+type Runner struct {
+	e engine
 }
 
 // Run improves the bipartition state in place and returns the result.
 // The state may contain replicated cells from previous runs; they are
 // kept and remain subject to unreplication moves.
 func Run(st *replication.State, cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
+	var r Runner
+	return r.Run(st, cfg)
+}
+
+// bind points the engine at a state, rebuilding the graph-derived slot
+// layout only when the graph changed since the previous run.
+func (e *engine) bind(st *replication.State) {
 	g := st.Graph()
+	if e.st != nil && e.st.Graph() == g && e.gainOf == st.MaxCellDegree() {
+		e.st = st
+		return
+	}
+	e.st = st
+	n := g.NumCells()
+	e.gainOf = st.MaxCellDegree()
+	e.head = make([]int32, 2*e.gainOf+1)
+	e.base = make([]int32, n+1)
+	slots := 0
+	for ci := 0; ci < n; ci++ {
+		e.base[ci] = int32(slots)
+		if len(g.Cells[ci].Outputs) > 1 {
+			slots += slotSplit0 + len(st.Splits(hypergraph.CellID(ci)))
+		} else {
+			slots++
+		}
+	}
+	e.base[n] = int32(slots)
+	e.pool = make([]node, slots)
+	for ci := 0; ci < n; ci++ {
+		c := hypergraph.CellID(ci)
+		b := e.base[ci]
+		e.pool[b+slotSingle] = node{move: replication.Move{Cell: c, Kind: replication.SingleMove}, bucket: nilNode}
+		if len(g.Cells[ci].Outputs) > 1 {
+			e.pool[b+slotUnrep0] = node{move: replication.Move{Cell: c, Kind: replication.Unreplicate, To: 0}, bucket: nilNode}
+			e.pool[b+slotUnrep1] = node{move: replication.Move{Cell: c, Kind: replication.Unreplicate, To: 1}, bucket: nilNode}
+			for i, carry := range st.Splits(c) {
+				e.pool[b+slotSplit0+int32(i)] = node{move: replication.Move{Cell: c, Kind: replication.Replicate, Carry: carry}, bucket: nilNode}
+			}
+		}
+	}
+	e.locked = make([]bool, n)
+	e.order = make([]hypergraph.CellID, n)
+}
+
+// Run is the Runner form of the package-level Run, reusing buffers
+// from previous runs on the same graph.
+func (r *Runner) Run(st *replication.State, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
 	if cfg.MaxArea[0] <= 0 || cfg.MaxArea[1] <= 0 {
 		return Result{}, fmt.Errorf("fm: MaxArea must be positive, got %v", cfg.MaxArea)
 	}
@@ -90,27 +172,14 @@ func Run(st *replication.State, cfg Config) (Result, error) {
 				st.Area(replication.Block(b)), b, cfg.MinArea[b], cfg.MaxArea[b])
 		}
 	}
-	// Bound on |gain|: the largest number of distinct nets on a cell.
-	maxNets := 1
-	for ci := range g.Cells {
-		if n := len(g.CellNets(hypergraph.CellID(ci))); n > maxNets {
-			maxNets = n
-		}
-	}
-	e := &engine{
-		st:     st,
-		cfg:    cfg,
-		gainOf: maxNets,
-		bucket: make([][]entry, 2*maxNets+1),
-		stamp:  make([]uint32, g.NumCells()),
-		locked: make([]bool, g.NumCells()),
-		order:  make([]hypergraph.CellID, g.NumCells()),
-	}
+	e := &r.e
+	e.bind(st)
+	e.cfg = cfg
 	for i := range e.order {
 		e.order[i] = hypergraph.CellID(i)
 	}
-	r := rand.New(rand.NewSource(cfg.Seed))
-	r.Shuffle(len(e.order), func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] })
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	rnd.Shuffle(len(e.order), func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] })
 
 	// Phase 1: plain FM passes to convergence. Phase 2 (when
 	// replication is enabled): passes that also offer replication and
@@ -144,8 +213,8 @@ func Run(st *replication.State, cfg Config) (Result, error) {
 		// re-optimizes positions.
 		for round := 0; round < cfg.MaxPasses; round++ {
 			p := phase(NoReplication, false)
-			r := phase(cfg.Threshold, true)
-			if !p && !r {
+			rr := phase(cfg.Threshold, true)
+			if !p && !rr {
 				break
 			}
 		}
@@ -196,42 +265,74 @@ func flowRefine(st *replication.State, cfg Config) error {
 	}
 }
 
-// candidates computes the move set of a free cell under the current
-// state: single move for unreplicated cells plus functional
-// replication splits when eligible, or the two unreplication merges
-// for replicated cells.
-func (e *engine) candidates(c hypergraph.CellID, emit func(replication.Move)) {
-	if e.st.IsReplicated(c) {
-		emit(replication.Move{Cell: c, Kind: replication.Unreplicate, To: 0})
-		emit(replication.Move{Cell: c, Kind: replication.Unreplicate, To: 1})
-		return
+// insert links the node at slot into the bucket for gain, at the head
+// (LIFO — among equal gains the most recently refreshed candidate is
+// preferred, matching classic FM tie-breaking). The gain must be within
+// the ±maxDeg bound; a violation is a gain-maintenance bug, not a
+// clampable condition.
+func (e *engine) insert(slot int32, gain int) {
+	idx := gain + e.gainOf
+	if idx < 0 || idx >= len(e.head) {
+		panic(fmt.Sprintf("fm: gain %d of %v outside bound ±%d", gain, e.pool[slot].move, e.gainOf))
 	}
-	if !e.replOnly {
-		emit(replication.Move{Cell: c, Kind: replication.SingleMove})
+	nd := &e.pool[slot]
+	nd.bucket = int32(idx)
+	nd.prev = nilNode
+	nd.next = e.head[idx]
+	if nd.next != nilNode {
+		e.pool[nd.next].prev = slot
 	}
-	if e.cfg.Threshold != NoReplication && e.st.CanReplicate(c, e.cfg.Threshold) {
-		for _, carry := range e.st.Splits(c) {
-			emit(replication.Move{Cell: c, Kind: replication.Replicate, Carry: carry})
-		}
+	e.head[idx] = slot
+	if idx > e.maxPtr {
+		e.maxPtr = idx
 	}
 }
 
+// unlink removes the node at slot from its bucket. No-op when the node
+// is not in one.
+func (e *engine) unlink(slot int32) {
+	nd := &e.pool[slot]
+	if nd.bucket == nilNode {
+		return
+	}
+	if nd.prev != nilNode {
+		e.pool[nd.prev].next = nd.next
+	} else {
+		e.head[nd.bucket] = nd.next
+	}
+	if nd.next != nilNode {
+		e.pool[nd.next].prev = nd.prev
+	}
+	nd.bucket = nilNode
+}
+
+// removeAll unlinks every candidate node of the cell.
+func (e *engine) removeAll(c hypergraph.CellID) {
+	for s := e.base[c]; s < e.base[c+1]; s++ {
+		e.unlink(s)
+	}
+}
+
+// push (re)inserts the cell's currently valid candidate moves with
+// fresh gains, removing any previous insertions first. Single-move
+// gains come from the state's incrementally maintained values;
+// replication and unreplication gains are evaluated semantically.
 func (e *engine) push(c hypergraph.CellID) {
-	e.stamp[c]++
-	s := e.stamp[c]
-	e.candidates(c, func(m replication.Move) {
-		g := e.st.MustGain(m)
-		idx := g + e.gainOf
-		if idx < 0 {
-			idx = 0
-		} else if idx >= len(e.bucket) {
-			idx = len(e.bucket) - 1
+	e.removeAll(c)
+	b := e.base[c]
+	if e.st.IsReplicated(c) {
+		e.insert(b+slotUnrep0, e.st.MustGain(e.pool[b+slotUnrep0].move))
+		e.insert(b+slotUnrep1, e.st.MustGain(e.pool[b+slotUnrep1].move))
+		return
+	}
+	if !e.replOnly {
+		e.insert(b+slotSingle, e.st.SingleGain(c))
+	}
+	if e.cfg.Threshold != NoReplication && e.st.CanReplicate(c, e.cfg.Threshold) {
+		for s := b + slotSplit0; s < e.base[c+1]; s++ {
+			e.insert(s, e.st.MustGain(e.pool[s].move))
 		}
-		e.bucket[idx] = append(e.bucket[idx], entry{cell: c, move: m, gain: g, stamp: s})
-		if idx > e.maxPtr {
-			e.maxPtr = idx
-		}
-	})
+	}
 }
 
 // feasible checks the area bounds after a prospective move.
@@ -249,8 +350,11 @@ func (e *engine) feasible(m replication.Move) bool {
 // pass runs one FM pass and reports whether the cut improved, plus the
 // number of applied moves.
 func (e *engine) pass() (bool, int) {
-	for i := range e.bucket {
-		e.bucket[i] = e.bucket[i][:0]
+	for i := range e.head {
+		e.head[i] = nilNode
+	}
+	for i := range e.pool {
+		e.pool[i].bucket = nilNode
 	}
 	e.maxPtr = 0
 	for i := range e.locked {
@@ -261,54 +365,68 @@ func (e *engine) pass() (bool, int) {
 	}
 	startCut := e.st.CutSize()
 	bestCut := startCut
-	bestTok := e.st.Mark()
+	// Best-prefix tracking via full-state snapshots: restoring one is
+	// O(cells + nets) flat copies, against per-move undo sweeps over
+	// every rolled-back move's neighborhood.
+	e.st.SaveCheckpoint(&e.best)
 	moves := 0
 	for {
-		ent, ok := e.pop()
+		mv, ok := e.pop()
 		if !ok {
 			break
 		}
-		if _, err := e.st.Apply(ent.move); err != nil {
-			// Stale entries referencing no-longer-valid moves are
-			// filtered by stamps; an apply error here is a bug.
-			panic(fmt.Sprintf("fm: applying %v: %v", ent.move, err))
+		if _, err := e.st.Apply(mv); err != nil {
+			// Buckets hold no stale entries — every node is refreshed
+			// when its cell's neighborhood changes — so an apply error
+			// here is a bug.
+			panic(fmt.Sprintf("fm: applying %v: %v", mv, err))
 		}
 		moves++
-		e.locked[ent.cell] = true
-		e.scratch = e.st.TouchedCells(ent.cell, e.scratch)
-		for _, t := range e.scratch {
+		e.locked[mv.Cell] = true
+		e.removeAll(mv.Cell)
+		// For single moves the commit delta sweep already visited the
+		// exact touched neighborhood; reuse it instead of re-walking
+		// the adjacency. Replication moves can touch cells on nets
+		// whose counts did not change, so they take the full scan.
+		var touched []hypergraph.CellID
+		if mv.Kind == replication.SingleMove {
+			touched = e.st.LastTouched()
+		} else {
+			e.scratch = e.st.TouchedCells(mv.Cell, e.scratch)
+			touched = e.scratch
+		}
+		for _, t := range touched {
 			if !e.locked[t] {
 				e.push(t)
 			}
 		}
 		if cut := e.st.CutSize(); cut < bestCut {
 			bestCut = cut
-			bestTok = e.st.Mark()
+			e.st.SaveCheckpoint(&e.best)
 		}
 	}
-	if err := e.st.Undo(bestTok); err != nil {
+	if err := e.st.RestoreCheckpoint(&e.best); err != nil {
 		panic(fmt.Sprintf("fm: rollback: %v", err))
 	}
 	return bestCut < startCut, moves
 }
 
-// pop returns the highest-gain fresh, unlocked, feasible entry.
-func (e *engine) pop() (entry, bool) {
+// pop returns the highest-gain feasible candidate, unlinking it.
+// Infeasible candidates encountered on the way are parked (unlinked but
+// not discarded permanently): they return to the buckets when their
+// cell's neighborhood is next refreshed.
+func (e *engine) pop() (replication.Move, bool) {
 	for e.maxPtr >= 0 {
-		b := e.bucket[e.maxPtr]
-		if len(b) == 0 {
+		n := e.head[e.maxPtr]
+		if n == nilNode {
 			e.maxPtr--
 			continue
 		}
-		ent := b[len(b)-1]
-		e.bucket[e.maxPtr] = b[:len(b)-1]
-		if e.locked[ent.cell] || e.stamp[ent.cell] != ent.stamp {
+		e.unlink(n)
+		if !e.feasible(e.pool[n].move) {
 			continue
 		}
-		if !e.feasible(ent.move) {
-			continue
-		}
-		return ent, true
+		return e.pool[n].move, true
 	}
-	return entry{}, false
+	return replication.Move{}, false
 }

@@ -18,6 +18,7 @@ type CellSpec struct {
 	DepBits [][]int
 	Area    int // defaults to 1
 	DFFs    int
+	Replica bool // functional-replication copy (see Cell.Replica)
 }
 
 // Builder incrementally assembles a Graph, then verifies it in Build.
@@ -122,6 +123,7 @@ func (b *Builder) AddCell(spec CellSpec) CellID {
 		Dep:     dep,
 		Area:    area,
 		DFFs:    spec.DFFs,
+		Replica: spec.Replica,
 	})
 	return id
 }

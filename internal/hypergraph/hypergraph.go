@@ -64,6 +64,12 @@ type Cell struct {
 	Dep     []bitset.Vector
 	Area    int // elementary circuit units consumed (CLBs); ≥ 1
 	DFFs    int // number of D flip-flops packed into the cell
+	// Replica marks a copy created by functional replication relative
+	// to the original source circuit. The flag is set structurally at
+	// subcircuit materialization (InstanceSpec.Replica) and survives
+	// nested extraction, so counting replicas never requires parsing
+	// the "$r" name suffixes (which exist only to keep names unique).
+	Replica bool
 }
 
 // NumPins returns the number of cell pins (inputs + outputs).

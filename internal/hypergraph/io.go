@@ -60,8 +60,12 @@ func Write(w io.Writer, g *Graph) error {
 			}
 			rows[i] = sb.String()
 		}
-		fmt.Fprintf(bw, "cell %s area=%d dff=%d in=%s out=%s dep=%s\n",
-			c.Name, c.Area, c.DFFs,
+		replica := ""
+		if c.Replica {
+			replica = " replica=1"
+		}
+		fmt.Fprintf(bw, "cell %s area=%d dff=%d%s in=%s out=%s dep=%s\n",
+			c.Name, c.Area, c.DFFs, replica,
 			strings.Join(inNames, ","), strings.Join(outNames, ","), strings.Join(rows, ";"))
 	}
 	return bw.Flush()
@@ -136,6 +140,12 @@ func Read(r io.Reader) (*Graph, error) {
 						return nil, fmt.Errorf("hypergraph: line %d: dff: %v", lineNo, err)
 					}
 					spec.DFFs = d
+				case "replica":
+					r, err := strconv.Atoi(val)
+					if err != nil {
+						return nil, fmt.Errorf("hypergraph: line %d: replica: %v", lineNo, err)
+					}
+					spec.Replica = r != 0
 				case "in":
 					if val != "" {
 						for _, n := range strings.Split(val, ",") {

@@ -15,6 +15,10 @@ type InstanceSpec struct {
 	Cell    CellID
 	Outputs []int
 	Rename  string // optional name override (e.g. "u7$r" for a replica)
+	// Replica marks this instance as a functional-replication copy; the
+	// materialized cell carries the flag (in addition to inheriting the
+	// source cell's own flag from enclosing extractions).
+	Replica bool
 }
 
 // Subcircuit materializes the hypergraph induced by the given cell
@@ -108,6 +112,7 @@ func (g *Graph) Subcircuit(name string, specs []InstanceSpec, external func(NetI
 			Dep:     newDep,
 			Area:    src.Area,
 			DFFs:    src.DFFs,
+			Replica: src.Replica || spec.Replica,
 		})
 	}
 

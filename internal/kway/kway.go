@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"strings"
 	"sync"
 
 	"fpgapart/internal/fm"
@@ -144,9 +143,14 @@ func Partition(g *hypergraph.Graph, opts Options) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch: the FM runner's gain buckets, the
+			// cluster-growing buffers and the replication state are all
+			// reused across carve attempts and solution attempts, so a
+			// warm worker allocates only for the materialized subcircuits.
+			var sc carveScratch
 			for i := range next {
 				seed := opts.Seed + int64(i)*104729
-				parts, err := partitionOnce(g, opts, seed)
+				parts, err := partitionOnce(g, opts, seed, &sc)
 				results[i] = attempt{parts, err}
 			}
 		}()
@@ -236,8 +240,19 @@ func assemble(g *hypergraph.Graph, parts []Part) Result {
 	return res
 }
 
+// carveScratch bundles the per-worker reusable buffers: the FM engine
+// (gain-bucket pool, order, locks), the cluster-assignment scratch, the
+// assignment buffer and the most recent replication state (rebound via
+// Reset when consecutive carve attempts target the same subcircuit).
+type carveScratch struct {
+	runner  fm.Runner
+	cluster fm.ClusterScratch
+	assign  []replication.Block
+	st      *replication.State
+}
+
 // partitionOnce builds one complete k-way solution or fails.
-func partitionOnce(g *hypergraph.Graph, opts Options, seed int64) ([]Part, error) {
+func partitionOnce(g *hypergraph.Graph, opts Options, seed int64, sc *carveScratch) ([]Part, error) {
 	r := rand.New(rand.NewSource(seed))
 	queue := []*hypergraph.Graph{g}
 	var parts []Part
@@ -254,7 +269,7 @@ func partitionOnce(g *hypergraph.Graph, opts Options, seed int64) ([]Part, error
 			parts = append(parts, Part{Graph: sub, Device: dev, Replicas: countReplicas(sub)})
 			continue
 		}
-		carved, rest, dev, err := carve(sub, opts, r)
+		carved, rest, dev, err := carve(sub, opts, r, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -267,7 +282,7 @@ func partitionOnce(g *hypergraph.Graph, opts Options, seed int64) ([]Part, error
 // carve splits off one device-sized block from sub. It tries several
 // (device, fill, seed) combinations and returns the first whose carved
 // block satisfies its host device's terminal constraint.
-func carve(sub *hypergraph.Graph, opts Options, r *rand.Rand) (carved, rest *hypergraph.Graph, dev library.Device, err error) {
+func carve(sub *hypergraph.Graph, opts Options, r *rand.Rand, sc *carveScratch) (carved, rest *hypergraph.Graph, dev library.Device, err error) {
 	total := sub.TotalArea()
 	devices := opts.Library.Devices
 	var lastErr error
@@ -309,7 +324,7 @@ func carve(sub *hypergraph.Graph, opts Options, r *rand.Rand) (carved, rest *hyp
 			lastErr = fmt.Errorf("kway: device %s cannot carve from %d CLBs", d.Name, total)
 			continue
 		}
-		st, res, cerr := carveFM(sub, d, target, total, opts, r.Int63(), termPressure)
+		st, res, cerr := carveFM(sub, d, target, total, opts, r.Int63(), termPressure, sc)
 		if cerr != nil {
 			lastErr = cerr
 			continue
@@ -403,7 +418,7 @@ func pickDevice(devices []library.Device, totalArea, desired int, density float6
 // carveFM runs (replication-)FM with asymmetric bounds: block 0 must
 // land in the device's utilization window, block 1 holds the rest.
 // With pinTerminals, the FM objective becomes t_P0 instead of the cut.
-func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Options, seed int64, pinTerminals bool) (*replication.State, fm.Result, error) {
+func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Options, seed int64, pinTerminals bool, sc *carveScratch) (*replication.State, fm.Result, error) {
 	// The carve must stay near its target: without a floor, FM
 	// minimizes the cut by collapsing block 0 to a handful of cells,
 	// which wastes a device per carve.
@@ -421,15 +436,27 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 		MaxPasses: opts.MaxPasses,
 		Seed:      seed,
 	}
-	assign := fm.ClusterAssign(sub, seed, target)
-	st, err := replication.NewStatePinned(sub, assign, pinTerminals)
-	if err != nil {
-		return nil, fm.Result{}, err
+	sc.assign = sc.cluster.AssignInto(sc.assign, sub, seed, -1, target)
+	var st *replication.State
+	if sc.st != nil && sc.st.Graph() == sub {
+		// Retry on the same subcircuit: rebind the existing state's
+		// arrays to the fresh assignment instead of reallocating.
+		if err := sc.st.ResetPinned(sc.assign, pinTerminals); err != nil {
+			return nil, fm.Result{}, err
+		}
+		st = sc.st
+	} else {
+		var err error
+		st, err = replication.NewStatePinned(sub, sc.assign, pinTerminals)
+		if err != nil {
+			return nil, fm.Result{}, err
+		}
+		sc.st = st
 	}
 	if st.Area(0) > cfg.MaxArea[0] || st.Area(0) < cfg.MinArea[0] {
 		return nil, fm.Result{}, fmt.Errorf("kway: initial carve area %d outside [%d,%d]", st.Area(0), cfg.MinArea[0], cfg.MaxArea[0])
 	}
-	res, err := fm.Run(st, cfg)
+	res, err := sc.runner.Run(st, cfg)
 	if err != nil {
 		return nil, fm.Result{}, err
 	}
@@ -451,12 +478,15 @@ func materialize(sub *hypergraph.Graph, st *replication.State) (*hypergraph.Grap
 	return a, b, nil
 }
 
-// countReplicas counts replica instances (cells whose names carry the
-// "$r" suffix added at materialization).
+// countReplicas counts replica instances. Replicas are tagged
+// structurally (hypergraph.Cell.Replica, set at materialization and
+// inherited through nested subcircuit extraction), so this never parses
+// the "$r" name suffixes — those remain purely for name uniqueness and
+// the verifier's name-based source resolution.
 func countReplicas(g *hypergraph.Graph) int {
 	n := 0
 	for i := range g.Cells {
-		if strings.HasSuffix(g.Cells[i].Name, "$r") || strings.Contains(g.Cells[i].Name, "$r$") {
+		if g.Cells[i].Replica {
 			n++
 		}
 	}

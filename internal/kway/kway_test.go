@@ -213,9 +213,11 @@ func TestCountReplicas(t *testing.T) {
 	o1 := b.OutputNet("o1")
 	o2 := b.OutputNet("o2")
 	o3 := b.OutputNet("o3")
+	// Replicas are tagged structurally, not by name: the "$r" suffixes
+	// below are decorative, only the Replica flags count.
 	b.AddCell(hypergraph.CellSpec{Name: "u1", Inputs: []hypergraph.NetID{pi}, Outputs: []hypergraph.NetID{o1}})
-	b.AddCell(hypergraph.CellSpec{Name: "u1$r", Inputs: []hypergraph.NetID{pi}, Outputs: []hypergraph.NetID{o2}})
-	b.AddCell(hypergraph.CellSpec{Name: "u1$r$r", Inputs: []hypergraph.NetID{pi}, Outputs: []hypergraph.NetID{o3}})
+	b.AddCell(hypergraph.CellSpec{Name: "u1$r", Inputs: []hypergraph.NetID{pi}, Outputs: []hypergraph.NetID{o2}, Replica: true})
+	b.AddCell(hypergraph.CellSpec{Name: "u1$r$r", Inputs: []hypergraph.NetID{pi}, Outputs: []hypergraph.NetID{o3}, Replica: true})
 	g := b.MustBuild()
 	if got := countReplicas(g); got != 2 {
 		t.Fatalf("countReplicas = %d, want 2", got)

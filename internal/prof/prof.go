@@ -1,0 +1,91 @@
+// Package prof wires the standard Go profilers into a command's flag
+// set: -cpuprofile and -trace capture the run, -memprofile snapshots
+// the heap at exit. Commands register the flags before flag.Parse and
+// bracket their work with Start/stop.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the profiling output paths parsed from the command line.
+type Flags struct {
+	cpu string
+	mem string
+	trc string
+}
+
+// Register installs -cpuprofile, -memprofile and -trace on fs
+// (typically flag.CommandLine) and returns the value holder.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.mem, "memprofile", "", "write a heap allocation profile to this file at exit")
+	fs.StringVar(&f.trc, "trace", "", "write a runtime execution trace to this file")
+	return f
+}
+
+// Start begins the requested captures. The returned stop function must
+// run before the process exits (not via defer past os.Exit); it ends
+// the captures and writes the heap profile.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile, trcFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if trcFile != nil {
+			trace.Stop()
+			trcFile.Close()
+		}
+	}
+	if f.cpu != "" {
+		cpuFile, err = os.Create(f.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	if f.trc != "" {
+		trcFile, err = os.Create(f.trc)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := trace.Start(trcFile); err != nil {
+			trcFile.Close()
+			trcFile = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: start trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if f.mem == "" {
+			return nil
+		}
+		mf, err := os.Create(f.mem)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		runtime.GC() // settle the heap so the profile shows live data
+		err = pprof.WriteHeapProfile(mf)
+		if cerr := mf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("prof: write heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -14,6 +14,21 @@
 // unreplication), O(pins) exact gain evaluation for each, and full
 // undo, which is what the FM-style engine in package fm needs for its
 // best-prefix rollback.
+//
+// The hot-path quantities are maintained incrementally (the classic
+// Fiduccia–Mattheyses result that a pass runs in time linear in pins):
+//
+//   - SingleGain(c), the single-move gain of every unreplicated cell,
+//     is updated in commit from the criticality transitions of exactly
+//     the nets whose connection counts changed — no recomputation over
+//     untouched neighbors;
+//   - Terminals(b) is an O(1) counter updated per changed net;
+//   - TouchedCells and Splits are allocation-free, backed by CSR
+//     adjacency and precomputed split tables built once per graph.
+//
+// Reset rebinds the dynamic state to a fresh assignment of the same
+// graph without reallocating, so carve retries reuse every per-net and
+// per-cell array.
 package replication
 
 import (
@@ -77,6 +92,13 @@ func (m Move) String() string {
 // ownership masks.
 const MaxOutputs = 32
 
+// netConn is one entry of the net→cell CSR: a connected cell and its
+// static active-connection count on the net.
+type netConn struct {
+	cell hypergraph.CellID
+	k    int32
+}
+
 type trailEntry struct {
 	cell hypergraph.CellID
 	own  [2]uint32
@@ -87,16 +109,42 @@ type trailEntry struct {
 // State is a bipartition of a hypergraph with functional replication.
 type State struct {
 	g      *hypergraph.Graph
-	extPin bool        // external nets carry a virtual conn in block 1
-	own    [][2]uint32 // per cell: output mask active in each block
-	home   []Block     // block of the original copy
-	repl   []bool
+	extPin bool // external nets carry a virtual conn in block 1
+
+	// Static, graph-derived structures (built once in buildStatic and
+	// shared across Reset calls).
 	all    []uint32   // per cell: mask of all outputs
 	col    [][]uint32 // per cell, per input pin: outputs depending on it
+	colDat []uint32   // backing storage for col
 	psi    []int      // per cell: replication potential ψ (Eq. 4)
-	cnt    [][2]int32 // per net: active connections per block
-	cut    int
-	area   [2]int
+	// CSR adjacency between cells and their *active* nets: for each
+	// cell, the distinct incident nets with at least one potentially
+	// active pin, and k — the number of active connections the cell
+	// contributes to the net when unreplicated (outputs plus inputs
+	// with a non-empty dependency column). Dependency-free input pins
+	// are floating in every configuration and are excluded.
+	adjOff []int32
+	adjNet []hypergraph.NetID
+	adjK   []int32
+	// Inverse CSR: for each net, the distinct cells with k > 0,
+	// interleaved with k so the commit sweep streams one array.
+	netOff []int32
+	netAdj []netConn
+	// Precomputed candidate carry masks per cell (see Splits).
+	splitOff  []int32
+	splitMask []uint32
+	isExt     []bool // per net: external (dense copy of Net.Ext != Internal)
+	maxDeg    int    // max distinct active nets over any cell (gain bound)
+
+	// Dynamic partition state (reinitialized by Reset).
+	own   [][2]uint32 // per cell: output mask active in each block
+	home  []Block     // block of the original copy
+	repl  []bool
+	cnt   [][2]int32 // per net: active connections per block
+	cut   int
+	area  [2]int
+	term  [2]int  // per block: incrementally maintained Terminals(b)
+	gainS []int32 // per cell: maintained single-move gain (unreplicated cells)
 
 	trail []trailEntry
 
@@ -104,6 +152,12 @@ type State struct {
 	scratchNets  []hypergraph.NetID
 	scratchDelta [][2]int32
 	scratchMark  []int32 // per net: index+1 into scratchNets, 0 = absent
+
+	// scratch for allocation-free TouchedCells / LastTouched
+	touchStamp    []uint32
+	touchEpoch    uint32
+	lastTouched   []hypergraph.CellID
+	recordTouched bool
 }
 
 // NewState builds the state for an initial replication-free assignment
@@ -118,22 +172,193 @@ func NewState(g *hypergraph.Graph, assign []Block) (*State, error) {
 // FM run minimizes the carved block's terminal count directly — the
 // objective the k-way partitioner's device feasibility check needs.
 func NewStatePinned(g *hypergraph.Graph, assign []Block, pinExternal bool) (*State, error) {
+	s := &State{g: g}
+	if err := s.buildStatic(); err != nil {
+		return nil, err
+	}
+	if err := s.ResetPinned(assign, pinExternal); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildStatic derives every graph-only structure: output masks,
+// dependency columns, ψ, the cell↔net CSR adjacency with static
+// connection counts, and the candidate split tables.
+func (s *State) buildStatic() error {
+	g := s.g
+	n := len(g.Cells)
+	m := len(g.Nets)
+	s.all = make([]uint32, n)
+	s.col = make([][]uint32, n)
+	s.psi = make([]int, n)
+	totalIn, totalPins := 0, 0
+	for ci := range g.Cells {
+		totalIn += len(g.Cells[ci].Inputs)
+		totalPins += g.Cells[ci].NumPins()
+	}
+	s.colDat = make([]uint32, totalIn)
+	colNext := 0
+	for ci := range g.Cells {
+		c := &g.Cells[ci]
+		mo := len(c.Outputs)
+		if mo > MaxOutputs {
+			return fmt.Errorf("replication: cell %q has %d outputs, max %d", c.Name, mo, MaxOutputs)
+		}
+		if mo == 0 {
+			return fmt.Errorf("replication: cell %q has no outputs", c.Name)
+		}
+		s.all[ci] = uint32(1)<<uint(mo) - 1
+		s.psi[ci] = c.ReplicationPotential()
+		cols := s.colDat[colNext : colNext+len(c.Inputs) : colNext+len(c.Inputs)]
+		colNext += len(c.Inputs)
+		for i := 0; i < mo; i++ {
+			for j := range c.Inputs {
+				if c.Dep[i].Get(j) {
+					cols[j] |= 1 << uint(i)
+				}
+			}
+		}
+		s.col[ci] = cols
+	}
+
+	// Cell -> net adjacency with static active-connection counts.
+	s.adjOff = make([]int32, n+1)
+	s.adjNet = make([]hypergraph.NetID, 0, totalPins)
+	s.adjK = make([]int32, 0, totalPins)
+	mark := make([]int32, m)  // net -> cell stamp (index+1)
+	pos := make([]int32, m)   // net -> position in adjNet for that cell
+	for i := range mark {
+		mark[i] = -1
+	}
+	for ci := range g.Cells {
+		c := &g.Cells[ci]
+		visit := func(nid hypergraph.NetID) {
+			if mark[nid] == int32(ci) {
+				s.adjK[pos[nid]]++
+				return
+			}
+			mark[nid] = int32(ci)
+			pos[nid] = int32(len(s.adjNet))
+			s.adjNet = append(s.adjNet, nid)
+			s.adjK = append(s.adjK, 1)
+		}
+		for _, nid := range c.Outputs {
+			visit(nid)
+		}
+		for j, nid := range c.Inputs {
+			if nid != hypergraph.NilNet && s.col[ci][j] != 0 {
+				visit(nid)
+			}
+		}
+		s.adjOff[ci+1] = int32(len(s.adjNet))
+	}
+	s.maxDeg = 1
+	for ci := 0; ci < n; ci++ {
+		if d := int(s.adjOff[ci+1] - s.adjOff[ci]); d > s.maxDeg {
+			s.maxDeg = d
+		}
+	}
+
+	// Inverse: net -> cells with k > 0.
+	s.netOff = make([]int32, m+1)
+	for _, nid := range s.adjNet {
+		s.netOff[nid+1]++
+	}
+	for i := 0; i < m; i++ {
+		s.netOff[i+1] += s.netOff[i]
+	}
+	s.netAdj = make([]netConn, len(s.adjNet))
+	fill := make([]int32, m)
+	copy(fill, s.netOff[:m])
+	for ci := 0; ci < n; ci++ {
+		for i := s.adjOff[ci]; i < s.adjOff[ci+1]; i++ {
+			nid := s.adjNet[i]
+			s.netAdj[fill[nid]] = netConn{cell: hypergraph.CellID(ci), k: s.adjK[i]}
+			fill[nid]++
+		}
+	}
+
+	// Candidate split tables.
+	s.splitOff = make([]int32, n+1)
+	for ci := range g.Cells {
+		masks := computeSplits(len(g.Cells[ci].Outputs), s.all[ci])
+		s.splitMask = append(s.splitMask, masks...)
+		s.splitOff[ci+1] = int32(len(s.splitMask))
+	}
+
+	s.isExt = make([]bool, m)
+	for ni := range g.Nets {
+		s.isExt[ni] = g.Nets[ni].Ext != hypergraph.Internal
+	}
+	s.scratchMark = make([]int32, m)
+	s.touchStamp = make([]uint32, n)
+	return nil
+}
+
+// computeSplits returns the candidate carry masks for a cell with mo
+// outputs: every proper non-empty output subset for cells with up to
+// four outputs, singletons and their complements otherwise.
+func computeSplits(mo int, all uint32) []uint32 {
+	if mo <= 1 {
+		return nil
+	}
+	if mo <= 4 {
+		out := make([]uint32, 0, 1<<uint(mo)-2)
+		for mask := uint32(1); mask < all; mask++ {
+			out = append(out, mask)
+		}
+		return out
+	}
+	seen := make(map[uint32]bool, 2*mo)
+	var out []uint32
+	for i := 0; i < mo; i++ {
+		for _, mask := range [2]uint32{1 << uint(i), all &^ (1 << uint(i))} {
+			if mask != 0 && mask != all && !seen[mask] {
+				seen[mask] = true
+				out = append(out, mask)
+			}
+		}
+	}
+	return out
+}
+
+// Reset reinitializes the partition to a fresh replication-free
+// assignment, keeping the external-pin mode and reusing every
+// allocated per-net/per-cell array. The undo trail is discarded.
+func (s *State) Reset(assign []Block) error {
+	return s.ResetPinned(assign, s.extPin)
+}
+
+// ResetPinned is Reset with an explicit external-pin mode (see
+// NewStatePinned).
+func (s *State) ResetPinned(assign []Block, pinExternal bool) error {
+	g := s.g
 	n := len(g.Cells)
 	if len(assign) != n {
-		return nil, fmt.Errorf("replication: assignment length %d, want %d cells", len(assign), n)
+		return fmt.Errorf("replication: assignment length %d, want %d cells", len(assign), n)
 	}
-	s := &State{
-		g:           g,
-		extPin:      pinExternal,
-		own:         make([][2]uint32, n),
-		home:        make([]Block, n),
-		repl:        make([]bool, n),
-		all:         make([]uint32, n),
-		col:         make([][]uint32, n),
-		psi:         make([]int, n),
-		cnt:         make([][2]int32, len(g.Nets)),
-		scratchMark: make([]int32, len(g.Nets)),
+	for ci, b := range assign {
+		if b > 1 {
+			return fmt.Errorf("replication: cell %q assigned to block %d", g.Cells[ci].Name, b)
+		}
 	}
+	s.extPin = pinExternal
+	if s.own == nil {
+		s.own = make([][2]uint32, n)
+		s.home = make([]Block, n)
+		s.repl = make([]bool, n)
+		s.cnt = make([][2]int32, len(g.Nets))
+		s.gainS = make([]int32, n)
+	} else {
+		for i := range s.cnt {
+			s.cnt[i] = [2]int32{}
+		}
+	}
+	s.trail = s.trail[:0]
+	s.cut = 0
+	s.area = [2]int{}
+	s.term = [2]int{}
 	if pinExternal {
 		for ni := range g.Nets {
 			if g.Nets[ni].Ext != hypergraph.Internal {
@@ -143,50 +368,33 @@ func NewStatePinned(g *hypergraph.Graph, assign []Block, pinExternal bool) (*Sta
 	}
 	for ci := range g.Cells {
 		c := &g.Cells[ci]
-		m := len(c.Outputs)
-		if m > MaxOutputs {
-			return nil, fmt.Errorf("replication: cell %q has %d outputs, max %d", c.Name, m, MaxOutputs)
-		}
-		if m == 0 {
-			return nil, fmt.Errorf("replication: cell %q has no outputs", c.Name)
-		}
 		b := assign[ci]
-		if b > 1 {
-			return nil, fmt.Errorf("replication: cell %q assigned to block %d", c.Name, b)
-		}
-		all := uint32(1)<<uint(m) - 1
-		s.all[ci] = all
 		s.home[ci] = b
-		s.own[ci][b] = all
-		s.psi[ci] = c.ReplicationPotential()
-		cols := make([]uint32, len(c.Inputs))
-		for i := 0; i < m; i++ {
-			for j := range c.Inputs {
-				if c.Dep[i].Get(j) {
-					cols[j] |= 1 << uint(i)
-				}
-			}
-		}
-		s.col[ci] = cols
+		s.repl[ci] = false
+		s.own[ci] = [2]uint32{}
+		s.own[ci][b] = s.all[ci]
 		s.area[b] += c.Area
 		// Account active connections: all outputs, and inputs adjacent
 		// to at least one output (a dependency-free input pin is
 		// floating by the functional rule even before replication).
-		for _, n := range c.Outputs {
-			s.cnt[n][b]++
-		}
-		for j, n := range c.Inputs {
-			if n != hypergraph.NilNet && cols[j] != 0 {
-				s.cnt[n][b]++
-			}
+		for i := s.adjOff[ci]; i < s.adjOff[ci+1]; i++ {
+			s.cnt[s.adjNet[i]][b] += s.adjK[i]
 		}
 	}
 	for ni := range g.Nets {
 		if s.cnt[ni][0] > 0 && s.cnt[ni][1] > 0 {
 			s.cut++
 		}
+		for b := Block(0); b < 2; b++ {
+			if s.termStatus(hypergraph.NetID(ni), b, s.cnt[ni][0], s.cnt[ni][1]) {
+				s.term[b]++
+			}
+		}
 	}
-	return s, nil
+	for ci := 0; ci < n; ci++ {
+		s.gainS[ci] = s.computeSingleGain(hypergraph.CellID(ci))
+	}
+	return nil
 }
 
 // Graph returns the underlying hypergraph.
@@ -215,6 +423,19 @@ func (s *State) ActiveIn(c hypergraph.CellID, b Block) bool { return s.own[c][b]
 
 // Psi returns the cell's replication potential ψ (Eq. 4), cached.
 func (s *State) Psi(c hypergraph.CellID) int { return s.psi[c] }
+
+// MaxCellDegree returns the maximum number of distinct active nets
+// incident to any single cell — a tight bound on |gain| for every move
+// kind, since a move can only change the cut status of the mover's own
+// active nets.
+func (s *State) MaxCellDegree() int { return s.maxDeg }
+
+// SingleGain returns the incrementally maintained gain of moving the
+// (unreplicated) cell to the other block — identical to
+// Gain(Move{Cell: c, Kind: SingleMove}) but O(1). The value is
+// meaningless while the cell is replicated; it is refreshed when the
+// cell unreplicates.
+func (s *State) SingleGain(c hypergraph.CellID) int { return int(s.gainS[c]) }
 
 // CanReplicate reports eligibility for functional replication at
 // threshold T: multi-output and ψ ≥ T (Eq. 6; T = 0 admits ψ = 0
@@ -427,35 +648,154 @@ func (s *State) Apply(m Move) (Token, error) {
 	}
 	tok := s.Mark()
 	s.trail = append(s.trail, trailEntry{cell: m.Cell, own: s.own[m.Cell], home: s.home[m.Cell], repl: s.repl[m.Cell]})
+	// Record the touched neighborhood as a free by-product of commit's
+	// delta sweep (see LastTouched).
+	s.bumpTouchEpoch()
+	s.lastTouched = s.lastTouched[:0]
+	s.touchStamp[m.Cell] = s.touchEpoch
+	s.lastTouched = append(s.lastTouched, m.Cell)
+	s.recordTouched = true
 	s.commit(m.Cell, nw)
+	s.recordTouched = false
 	switch m.Kind {
 	case SingleMove:
 		s.home[m.Cell] = s.home[m.Cell].Other()
+		// The reverse move undoes exactly the cut delta just applied,
+		// so the mover's new single-move gain is the negation of its
+		// (maintained, pre-move) value — no recomputation needed.
+		s.gainS[m.Cell] = -s.gainS[m.Cell]
 	case Replicate:
 		s.repl[m.Cell] = true
 	case Unreplicate:
 		s.repl[m.Cell] = false
 		s.home[m.Cell] = m.To
+		s.gainS[m.Cell] = s.computeSingleGain(m.Cell)
 	}
 	return tok, nil
 }
 
+// phi is the contribution of one net to the single-move gain of a cell
+// with k active connections on it, f of its home block's count and t of
+// the other block's: +1 when the net is cut and the cell owns the whole
+// from-side (moving uncuts it), −1 when the net is uncut and other
+// from-side connections remain behind (moving cuts it).
+func phi(f, t, k int32) int32 {
+	if f > 0 && t > 0 {
+		if f == k {
+			return 1
+		}
+		return 0
+	}
+	if f > k {
+		return -1
+	}
+	return 0
+}
+
+// computeSingleGain evaluates the single-move gain of an unreplicated
+// cell from scratch — O(distinct nets of the cell). Used to (re)seed
+// the maintained gainS after the cell's own ownership changes; steady-
+// state neighbor updates happen incrementally in commit.
+func (s *State) computeSingleGain(c hypergraph.CellID) int32 {
+	h := s.home[c]
+	g := int32(0)
+	for i := s.adjOff[c]; i < s.adjOff[c+1]; i++ {
+		n := s.adjNet[i]
+		g += phi(s.cnt[n][h], s.cnt[n][h.Other()], s.adjK[i])
+	}
+	return g
+}
+
+// termStatus reports whether net n demands an IOB in block b under the
+// given connection counts (see Terminals).
+func (s *State) termStatus(n hypergraph.NetID, b Block, c0, c1 int32) bool {
+	ext := s.isExt[n]
+	here, other := c0, c1
+	if b == 1 {
+		here, other = c1, c0
+	}
+	if s.extPin && ext {
+		if b == 1 {
+			here--
+		} else {
+			other--
+		}
+	}
+	return here > 0 && (ext || other > 0)
+}
+
 // commit switches cell c's ownership to nw, updating net counts, cut
-// size and block areas.
+// size, block areas, terminal counters and — incrementally, from the
+// criticality transitions of the changed nets — the maintained
+// single-move gains of every affected neighbor. The mover's own gain is
+// reseeded by the caller (Apply/Undo) once its home/replication flags
+// are final.
 func (s *State) commit(c hypergraph.CellID, nw [2]uint32) {
 	old := s.own[c]
 	s.accumulateDeltas(c, old, nw)
 	for i, n := range s.scratchNets {
 		c0, c1 := s.cnt[n][0], s.cnt[n][1]
+		n0, n1 := c0+s.scratchDelta[i][0], c1+s.scratchDelta[i][1]
 		wasCut := c0 > 0 && c1 > 0
-		s.cnt[n][0] = c0 + s.scratchDelta[i][0]
-		s.cnt[n][1] = c1 + s.scratchDelta[i][1]
-		isCut := s.cnt[n][0] > 0 && s.cnt[n][1] > 0
+		isCut := n0 > 0 && n1 > 0
 		if wasCut && !isCut {
 			s.cut--
 		} else if !wasCut && isCut {
 			s.cut++
 		}
+		// Terminal-status transitions, inlined from termStatus with the
+		// block-1 count pre-adjusted for the virtual pin connection.
+		ext := s.isExt[n]
+		var pin int32
+		if s.extPin && ext {
+			pin = 1
+		}
+		e1, m1 := c1-pin, n1-pin
+		wasT0 := c0 > 0 && (ext || e1 > 0)
+		isT0 := n0 > 0 && (ext || m1 > 0)
+		wasT1 := e1 > 0 && (ext || c0 > 0)
+		isT1 := m1 > 0 && (ext || n0 > 0)
+		if wasT0 != isT0 {
+			if isT0 {
+				s.term[0]++
+			} else {
+				s.term[0]--
+			}
+		}
+		if wasT1 != isT1 {
+			if isT1 {
+				s.term[1]++
+			} else {
+				s.term[1]--
+			}
+		}
+		// Neighbor gain deltas. phi depends on t only through the cut
+		// flag, so a block's cells can only see a delta when their own
+		// side's count or the cut status changed.
+		changed0 := c0 != n0 || wasCut != isCut
+		changed1 := c1 != n1 || wasCut != isCut
+		if changed0 || changed1 || s.recordTouched {
+			for _, nc := range s.netAdj[s.netOff[n]:s.netOff[n+1]] {
+				cc := nc.cell
+				if s.recordTouched && s.touchStamp[cc] != s.touchEpoch {
+					s.touchStamp[cc] = s.touchEpoch
+					s.lastTouched = append(s.lastTouched, cc)
+				}
+				if cc == c || s.repl[cc] {
+					continue
+				}
+				h := s.home[cc]
+				if h == 0 && !changed0 || h == 1 && !changed1 {
+					continue
+				}
+				if h == 0 {
+					s.gainS[cc] += phi(n0, n1, nc.k) - phi(c0, c1, nc.k)
+				} else {
+					s.gainS[cc] += phi(n1, n0, nc.k) - phi(c1, c0, nc.k)
+				}
+			}
+		}
+		s.cnt[n] = [2]int32{n0, n1}
 	}
 	s.resetScratch()
 	a := s.g.Cells[c].Area
@@ -480,62 +820,117 @@ func (s *State) Undo(tok Token) error {
 	for len(s.trail) > int(tok) {
 		e := s.trail[len(s.trail)-1]
 		s.trail = s.trail[:len(s.trail)-1]
+		wasRepl := s.repl[e.cell]
 		s.commit(e.cell, e.own)
 		s.home[e.cell] = e.home
 		s.repl[e.cell] = e.repl
+		if !e.repl {
+			if !wasRepl {
+				// Reversing a single move: negate (see Apply).
+				s.gainS[e.cell] = -s.gainS[e.cell]
+			} else {
+				// Reversing a replication: the cell was replicated, so
+				// its maintained gain is stale — recompute.
+				s.gainS[e.cell] = s.computeSingleGain(e.cell)
+			}
+		}
 	}
+	return nil
+}
+
+// Checkpoint is a reusable full snapshot of the dynamic partition
+// state, for O(cells + nets) pass rollback: an FM pass that applies M
+// moves and keeps only a prefix can restore the best point with flat
+// array copies instead of per-move undo sweeps. Buffers are allocated
+// on first save and reused.
+type Checkpoint struct {
+	valid    bool
+	trailLen int
+	cut      int
+	area     [2]int
+	term     [2]int
+	own      [][2]uint32
+	home     []Block
+	repl     []bool
+	cnt      [][2]int32
+	gainS    []int32
+}
+
+// SaveCheckpoint snapshots the current state into cp.
+func (s *State) SaveCheckpoint(cp *Checkpoint) {
+	n, m := len(s.own), len(s.cnt)
+	if cap(cp.own) < n {
+		cp.own = make([][2]uint32, n)
+		cp.home = make([]Block, n)
+		cp.repl = make([]bool, n)
+		cp.gainS = make([]int32, n)
+	}
+	if cap(cp.cnt) < m {
+		cp.cnt = make([][2]int32, m)
+	}
+	cp.own, cp.home, cp.repl, cp.gainS = cp.own[:n], cp.home[:n], cp.repl[:n], cp.gainS[:n]
+	cp.cnt = cp.cnt[:m]
+	copy(cp.own, s.own)
+	copy(cp.home, s.home)
+	copy(cp.repl, s.repl)
+	copy(cp.gainS, s.gainS)
+	copy(cp.cnt, s.cnt)
+	cp.trailLen = len(s.trail)
+	cp.cut, cp.area, cp.term = s.cut, s.area, s.term
+	cp.valid = true
+}
+
+// RestoreCheckpoint rolls the state back to a snapshot taken earlier on
+// this same state. The trail is truncated to the snapshot point, so
+// tokens issued after the save become invalid — equivalent to Undo of
+// every later move, but in flat array copies.
+func (s *State) RestoreCheckpoint(cp *Checkpoint) error {
+	if !cp.valid {
+		return fmt.Errorf("replication: restore from unsaved checkpoint")
+	}
+	if len(cp.own) != len(s.own) || len(cp.cnt) != len(s.cnt) {
+		return fmt.Errorf("replication: checkpoint of %d cells/%d nets restored onto %d/%d",
+			len(cp.own), len(cp.cnt), len(s.own), len(s.cnt))
+	}
+	if cp.trailLen > len(s.trail) {
+		return fmt.Errorf("replication: checkpoint trail %d ahead of state trail %d", cp.trailLen, len(s.trail))
+	}
+	copy(s.own, cp.own)
+	copy(s.home, cp.home)
+	copy(s.repl, cp.repl)
+	copy(s.gainS, cp.gainS)
+	copy(s.cnt, cp.cnt)
+	s.trail = s.trail[:cp.trailLen]
+	s.cut, s.area, s.term = cp.cut, cp.area, cp.term
 	return nil
 }
 
 // Splits returns the candidate carry masks for functionally
 // replicating cell c: every proper non-empty output subset for cells
 // with up to four outputs, singletons and their complements otherwise.
+// The returned slice is a precomputed shared table — callers must not
+// modify it.
 func (s *State) Splits(c hypergraph.CellID) []uint32 {
-	m := len(s.g.Cells[c].Outputs)
-	if m <= 1 {
+	lo, hi := s.splitOff[c], s.splitOff[c+1]
+	if lo == hi {
 		return nil
 	}
-	all := s.all[c]
-	if m <= 4 {
-		out := make([]uint32, 0, 1<<uint(m)-2)
-		for mask := uint32(1); mask < all; mask++ {
-			out = append(out, mask)
-		}
-		return out
-	}
-	seen := make(map[uint32]bool, 2*m)
-	var out []uint32
-	for i := 0; i < m; i++ {
-		for _, mask := range [2]uint32{1 << uint(i), all &^ (1 << uint(i))} {
-			if mask != 0 && mask != all && !seen[mask] {
-				seen[mask] = true
-				out = append(out, mask)
-			}
-		}
-	}
-	return out
+	return s.splitMask[lo:hi:hi]
 }
 
 // Terminals returns t_Pb: the number of nets in block b that need an
 // IOB — external nets touching the block plus cut nets. Virtual pin
 // connections (NewStatePinned) are excluded from the touch counts.
-func (s *State) Terminals(b Block) int {
+// The counters are maintained incrementally per committed move, so
+// this is O(1).
+func (s *State) Terminals(b Block) int { return s.term[b] }
+
+// terminalsSlow recomputes Terminals by scanning every net; retained
+// as the independent ground truth for CheckInvariants.
+func (s *State) terminalsSlow(b Block) int {
 	t := 0
 	for ni := range s.g.Nets {
-		ext := s.g.Nets[ni].Ext != hypergraph.Internal
-		here := s.cnt[ni][b]
-		other := s.cnt[ni][b.Other()]
-		if s.extPin && ext {
-			if b == 1 {
-				here--
-			} else {
-				other--
-			}
-		}
-		if here == 0 {
-			continue
-		}
-		if ext || other > 0 {
+		if s.termStatus(hypergraph.NetID(ni), b, s.cnt[ni][0], s.cnt[ni][1]) {
 			t++
 		}
 	}
@@ -547,28 +942,52 @@ func (s *State) CutNet(n hypergraph.NetID) bool {
 	return s.cnt[n][0] > 0 && s.cnt[n][1] > 0
 }
 
-// TouchedCells returns the distinct cells with a connection on any net
-// incident to cell c — the neighborhood whose gains an engine must
-// refresh after applying a move on c. The result includes c itself.
+// TouchedCells returns the distinct cells with an active connection on
+// any active net incident to cell c — the neighborhood whose candidate
+// gains an engine must refresh after applying a move on c. The result
+// includes c itself, first. The call is allocation-free for a buf with
+// sufficient capacity.
 func (s *State) TouchedCells(c hypergraph.CellID, buf []hypergraph.CellID) []hypergraph.CellID {
 	buf = buf[:0]
-	seen := make(map[hypergraph.CellID]bool, 16)
-	seen[c] = true
+	s.bumpTouchEpoch()
+	epoch := s.touchEpoch
+	s.touchStamp[c] = epoch
 	buf = append(buf, c)
-	for _, n := range s.g.CellNets(c) {
-		for _, cn := range s.g.Nets[n].Conns {
-			if !seen[cn.Cell] {
-				seen[cn.Cell] = true
-				buf = append(buf, cn.Cell)
+	for i := s.adjOff[c]; i < s.adjOff[c+1]; i++ {
+		n := s.adjNet[i]
+		for _, nc := range s.netAdj[s.netOff[n]:s.netOff[n+1]] {
+			if s.touchStamp[nc.cell] != epoch {
+				s.touchStamp[nc.cell] = epoch
+				buf = append(buf, nc.cell)
 			}
 		}
 	}
 	return buf
 }
 
+func (s *State) bumpTouchEpoch() {
+	s.touchEpoch++
+	if s.touchEpoch == 0 { // wrapped: invalidate all stamps
+		for i := range s.touchStamp {
+			s.touchStamp[i] = 0
+		}
+		s.touchEpoch = 1
+	}
+}
+
+// LastTouched returns the touched neighborhood of the most recent
+// Apply — the same cell set TouchedCells(mover) produces for a single
+// move (mover first), collected for free during the commit delta
+// sweep. For replication moves it may omit cells on nets whose
+// connection counts did not change; use TouchedCells when those
+// matter. The slice is valid until the next Apply and must not be
+// modified.
+func (s *State) LastTouched() []hypergraph.CellID { return s.lastTouched }
+
 // InstanceSpecs lists the cell copies active in block b in the form
 // hypergraph.Subcircuit consumes. Replica copies (a replicated cell's
-// copy outside its home block) get a "$r" name suffix.
+// copy outside its home block) carry the Replica flag and get a "$r"
+// name suffix to keep names unique.
 func (s *State) InstanceSpecs(b Block) []hypergraph.InstanceSpec {
 	var specs []hypergraph.InstanceSpec
 	for ci := range s.own {
@@ -588,6 +1007,7 @@ func (s *State) InstanceSpecs(b Block) []hypergraph.InstanceSpec {
 		}
 		if s.repl[ci] && b != s.home[ci] {
 			spec.Rename = s.g.Cells[ci].Name + "$r"
+			spec.Replica = true
 		}
 		specs = append(specs, spec)
 	}
@@ -595,7 +1015,10 @@ func (s *State) InstanceSpecs(b Block) []hypergraph.InstanceSpec {
 }
 
 // CheckInvariants recomputes every derived quantity from scratch and
-// compares; used by tests and property checks.
+// compares; used by tests and property checks. Beyond the original
+// count/cut/area checks it cross-validates the incrementally
+// maintained terminal counters and single-move gains against
+// independent recomputation.
 func (s *State) CheckInvariants() error {
 	cnt := make([][2]int32, len(s.g.Nets))
 	if s.extPin {
@@ -654,6 +1077,25 @@ func (s *State) CheckInvariants() error {
 	}
 	if area != s.area {
 		return fmt.Errorf("area %v, cached %v", area, s.area)
+	}
+	for b := Block(0); b < 2; b++ {
+		if slow := s.terminalsSlow(b); slow != s.term[b] {
+			return fmt.Errorf("terminals(%d) %d, cached %d", b, slow, s.term[b])
+		}
+	}
+	for ci := range s.g.Cells {
+		c := hypergraph.CellID(ci)
+		if s.repl[c] {
+			continue
+		}
+		want, err := s.Gain(Move{Cell: c, Kind: SingleMove})
+		if err != nil {
+			return fmt.Errorf("cell %q: single gain: %v", s.g.Cells[ci].Name, err)
+		}
+		if int(s.gainS[c]) != want {
+			return fmt.Errorf("cell %q: maintained single gain %d, semantic %d",
+				s.g.Cells[ci].Name, s.gainS[c], want)
+		}
 	}
 	return nil
 }

@@ -563,3 +563,168 @@ func TestQuickStateConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Reset must produce the same state a fresh construction does,
+// including the incrementally maintained terminal counters and
+// single-move gains — that equivalence is what lets the k-way carve
+// loop reuse one State across retries.
+func TestResetMatchesFresh(t *testing.T) {
+	st := randomState(t, 3, 80)
+	g := st.Graph()
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 60; i++ {
+		if _, err := st.Apply(randomMove(r, st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assign := make([]Block, g.NumCells())
+	for i := range assign {
+		assign[i] = Block(r.Intn(2))
+	}
+	for _, pin := range []bool{false, true} {
+		if err := st.ResetPinned(assign, pin); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewStatePinned(g, assign, pin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CutSize() != fresh.CutSize() {
+			t.Fatalf("pin=%v: reset cut %d, fresh %d", pin, st.CutSize(), fresh.CutSize())
+		}
+		for b := Block(0); b < 2; b++ {
+			if st.Area(b) != fresh.Area(b) {
+				t.Fatalf("pin=%v: reset area(%d) %d, fresh %d", pin, b, st.Area(b), fresh.Area(b))
+			}
+			if st.Terminals(b) != fresh.Terminals(b) {
+				t.Fatalf("pin=%v: reset terminals(%d) %d, fresh %d", pin, b, st.Terminals(b), fresh.Terminals(b))
+			}
+		}
+		for ci := 0; ci < g.NumCells(); ci++ {
+			c := hypergraph.CellID(ci)
+			if st.SingleGain(c) != fresh.SingleGain(c) {
+				t.Fatalf("pin=%v: cell %d reset gain %d, fresh %d", pin, ci, st.SingleGain(c), fresh.SingleGain(c))
+			}
+		}
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("pin=%v: %v", pin, err)
+		}
+	}
+}
+
+// SaveCheckpoint/RestoreCheckpoint must be equivalent to Undo of every
+// move applied after the save.
+func TestCheckpointRestore(t *testing.T) {
+	st := randomState(t, 5, 70)
+	shadow := randomState(t, 5, 70)
+	r := rand.New(rand.NewSource(17))
+	rs := rand.New(rand.NewSource(17))
+	apply := func(s *State, rr *rand.Rand, n int) {
+		for i := 0; i < n; i++ {
+			if _, err := s.Apply(randomMove(rr, s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	apply(st, r, 25)
+	apply(shadow, rs, 25)
+	var cp Checkpoint
+	if err := st.RestoreCheckpoint(&cp); err == nil {
+		t.Fatal("restore from unsaved checkpoint succeeded")
+	}
+	st.SaveCheckpoint(&cp)
+	tok := shadow.Mark()
+	apply(st, r, 40)
+	apply(shadow, rs, 40)
+	if err := st.RestoreCheckpoint(&cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := shadow.Undo(tok); err != nil {
+		t.Fatal(err)
+	}
+	if st.CutSize() != shadow.CutSize() {
+		t.Fatalf("restored cut %d, undo cut %d", st.CutSize(), shadow.CutSize())
+	}
+	for b := Block(0); b < 2; b++ {
+		if st.Terminals(b) != shadow.Terminals(b) || st.Area(b) != shadow.Area(b) {
+			t.Fatalf("block %d: restored term/area %d/%d, undo %d/%d",
+				b, st.Terminals(b), st.Area(b), shadow.Terminals(b), shadow.Area(b))
+		}
+	}
+	for ci := 0; ci < st.Graph().NumCells(); ci++ {
+		c := hypergraph.CellID(ci)
+		if st.IsReplicated(c) != shadow.IsReplicated(c) || st.Home(c) != shadow.Home(c) {
+			t.Fatalf("cell %d: restored repl/home %v/%v, undo %v/%v",
+				ci, st.IsReplicated(c), st.Home(c), shadow.IsReplicated(c), shadow.Home(c))
+		}
+		if !st.IsReplicated(c) && st.SingleGain(c) != shadow.SingleGain(c) {
+			t.Fatalf("cell %d: restored gain %d, undo gain %d", ci, st.SingleGain(c), shadow.SingleGain(c))
+		}
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// For a single move, LastTouched must be exactly the TouchedCells
+// neighborhood of the mover, in the same order (mover first).
+func TestLastTouchedMatchesTouchedCells(t *testing.T) {
+	st := randomState(t, 7, 60)
+	r := rand.New(rand.NewSource(23))
+	var want []hypergraph.CellID
+	for step := 0; step < 80; step++ {
+		var c hypergraph.CellID
+		for {
+			c = hypergraph.CellID(r.Intn(st.Graph().NumCells()))
+			if !st.IsReplicated(c) {
+				break
+			}
+		}
+		want = st.TouchedCells(c, want)
+		if _, err := st.Apply(Move{Cell: c, Kind: SingleMove}); err != nil {
+			t.Fatal(err)
+		}
+		got := st.LastTouched()
+		if len(got) != len(want) {
+			t.Fatalf("step %d: LastTouched %d cells, TouchedCells %d", step, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: LastTouched[%d] = %d, TouchedCells[%d] = %d", step, i, got[i], i, want[i])
+			}
+		}
+	}
+}
+
+// The maintained single-move gains must track the semantic Gain under
+// arbitrary interleavings of all three move kinds and undos.
+func TestSingleGainMaintained(t *testing.T) {
+	st := randomState(t, 11, 50)
+	r := rand.New(rand.NewSource(31))
+	var toks []Token
+	for step := 0; step < 200; step++ {
+		if len(toks) > 0 && r.Intn(4) == 0 {
+			k := r.Intn(len(toks))
+			if err := st.Undo(toks[k]); err != nil {
+				t.Fatal(err)
+			}
+			toks = toks[:k]
+		} else {
+			tok, err := st.Apply(randomMove(r, st))
+			if err != nil {
+				t.Fatal(err)
+			}
+			toks = append(toks, tok)
+		}
+		for ci := 0; ci < st.Graph().NumCells(); ci++ {
+			c := hypergraph.CellID(ci)
+			if st.IsReplicated(c) {
+				continue
+			}
+			want := st.MustGain(Move{Cell: c, Kind: SingleMove})
+			if got := st.SingleGain(c); got != want {
+				t.Fatalf("step %d cell %d: maintained gain %d, semantic %d", step, ci, got, want)
+			}
+		}
+	}
+}
