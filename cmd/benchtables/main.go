@@ -29,6 +29,7 @@ func main() {
 	runs := flag.Int("runs", 20, "bipartitioning runs per circuit (Table III)")
 	solutions := flag.Int("solutions", 50, "feasible k-way solutions per run (Tables IV-VII)")
 	scale := flag.Int("scale", 0, "divide circuit sizes by this factor (0 = full)")
+	workers := flag.Int("workers", 0, "bound experiment parallelism (0 = GOMAXPROCS); results are identical for any value")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	only := flag.String("only", "", "comma-separated subset: 1,2,f3,3,4,5,6,7,h (h = homogeneous appendix)")
 	csvDir := flag.String("csv", "", "also write raw experiment data as CSV files into this directory")
@@ -36,7 +37,7 @@ func main() {
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	cfg := expt.Config{Runs: *runs, Solutions: *solutions, Scale: *scale, Seed: *seed}
+	cfg := expt.Config{Runs: *runs, Solutions: *solutions, Scale: *scale, Workers: *workers, Seed: *seed}
 	if *quick {
 		cfg.Scale, cfg.Runs, cfg.Solutions = 8, 5, 5
 	}

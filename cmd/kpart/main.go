@@ -8,24 +8,34 @@
 //
 // Usage:
 //
-//	kpart [-t 1] [-solutions 50] [-seed 1] [-gate] [-v] circuit.clb
+//	kpart [-t 1] [-solutions 50] [-seed 1] [-timeout 30s] [-gate] [-v] circuit.clb
+//
+// Exit codes: 0 = success; 1 = error (I/O, configuration,
+// verification); 2 = infeasible instance (the full attempt budget ran
+// without a feasible solution); 3 = -timeout expired before any
+// feasible solution.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"fpgapart/internal/core"
 	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/kway"
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/prof"
 	"fpgapart/internal/report"
+	"fpgapart/internal/search"
 	"fpgapart/internal/techmap"
+	"fpgapart/internal/trace"
 )
 
 func main() {
@@ -37,42 +47,121 @@ func main() {
 	check := flag.Bool("verify", false, "verify every accepted carve and solution in-loop, plus the final result")
 	outDir := flag.String("o", "", "write each part as <dir>/<circuit>.pN.clb")
 	jsonOut := flag.Bool("json", false, "print the solution summary as JSON")
+	timeout := flag.Duration("timeout", 0, "wall-clock search budget (0 = unlimited); on expiry the best solution so far is kept")
+	maxStale := flag.Int("max-stale", 0, "stop after this many consecutive non-improving solutions (0 = run all)")
+	progress := flag.Bool("progress", false, "print per-solution progress and search statistics to stderr")
+	statsJSON := flag.String("stats-json", "", "stream structured engine events (FM passes, carves, solutions) as JSONL to this file")
 	profFlags := prof.Register(flag.CommandLine)
-	flag.Parse()
-	if flag.NArg() != 1 {
+	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: kpart [flags] <circuit.clb|circuit.gnl>")
 		flag.PrintDefaults()
-		os.Exit(2)
+		fmt.Fprint(os.Stderr, `
+exit codes:
+  0  success
+  1  error (I/O, configuration, verification failure)
+  2  infeasible instance: the attempt budget ran without a feasible solution
+  3  -timeout expired before any feasible solution was found
+`)
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(1)
 	}
 	stopProf, err := profFlags.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kpart:", err)
 		os.Exit(1)
 	}
-	err = run(flag.Arg(0), *threshold, *solutions, *seed, *gate || strings.HasSuffix(flag.Arg(0), ".gnl"), *verbose, *check, *outDir, *jsonOut)
+	err = run(runConfig{
+		path:      flag.Arg(0),
+		threshold: *threshold,
+		solutions: *solutions,
+		seed:      *seed,
+		gate:      *gate || strings.HasSuffix(flag.Arg(0), ".gnl"),
+		verbose:   *verbose,
+		check:     *check,
+		outDir:    *outDir,
+		jsonOut:   *jsonOut,
+		timeout:   *timeout,
+		maxStale:  *maxStale,
+		progress:  *progress,
+		statsJSON: *statsJSON,
+	})
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kpart:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
-func run(path string, threshold, solutions int, seed int64, gate, verbose, check bool, outDir string, jsonOut bool) error {
-	f, err := os.Open(path)
+// exitCode maps failure modes to the documented exit codes. The budget
+// check comes first: a timeout with no feasible solution wraps both
+// error types, and "ran out of time" is the actionable diagnosis.
+func exitCode(err error) int {
+	var budget *search.ErrBudget
+	if errors.As(err, &budget) {
+		return 3
+	}
+	var inf *kway.InfeasibleError
+	if errors.As(err, &inf) {
+		return 2
+	}
+	return 1
+}
+
+type runConfig struct {
+	path      string
+	threshold int
+	solutions int
+	seed      int64
+	gate      bool
+	verbose   bool
+	check     bool
+	outDir    string
+	jsonOut   bool
+	timeout   time.Duration
+	maxStale  int
+	progress  bool
+	statsJSON string
+}
+
+// progressSink prints one stderr line per folded solution attempt.
+// Solution events are emitted by the single-threaded index-ordered
+// reduction, so the lines appear in deterministic order.
+type progressSink struct{ total int }
+
+func (p progressSink) Event(e trace.Event) {
+	if e.Kind != trace.KindSolution {
+		return
+	}
+	if !e.Feasible {
+		fmt.Fprintf(os.Stderr, "kpart: attempt %d/%d: infeasible\n", e.Attempt+1, p.total)
+		return
+	}
+	marker := ""
+	if e.Improved {
+		marker = "  (new best)"
+	}
+	fmt.Fprintf(os.Stderr, "kpart: attempt %d/%d: k=%d cost=%.0f%s\n", e.Attempt+1, p.total, e.Parts, e.Cost, marker)
+}
+
+func run(cfg runConfig) error {
+	f, err := os.Open(cfg.path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
 	var g *hypergraph.Graph
-	if gate {
+	if cfg.gate {
 		n, err := netlist.Read(f)
 		if err != nil {
 			return err
 		}
-		m, err := techmap.Map(n, techmap.Options{Seed: seed})
+		m, err := techmap.Map(n, techmap.Options{Seed: cfg.seed})
 		if err != nil {
 			return err
 		}
@@ -87,7 +176,42 @@ func run(path string, threshold, solutions int, seed int64, gate, verbose, check
 		}
 	}
 
-	res, err := core.Partition(g, core.Options{Threshold: threshold, Solutions: solutions, Seed: seed, Verify: check})
+	var sinks []trace.Sink
+	var agg *trace.Agg
+	if cfg.progress {
+		agg = &trace.Agg{}
+		sinks = append(sinks, progressSink{total: cfg.solutions}, agg)
+	}
+	var jsonl *trace.JSONL
+	if cfg.statsJSON != "" {
+		jf, err := os.Create(cfg.statsJSON)
+		if err != nil {
+			return err
+		}
+		defer jf.Close()
+		jsonl = trace.NewJSONL(jf)
+		sinks = append(sinks, jsonl)
+	}
+
+	res, err := core.Partition(g, core.Options{
+		Threshold: cfg.threshold,
+		Solutions: cfg.solutions,
+		Seed:      cfg.seed,
+		Verify:    cfg.check,
+		Timeout:   cfg.timeout,
+		MaxStale:  cfg.maxStale,
+		Trace:     trace.Multi(sinks...),
+	})
+	if agg != nil {
+		c := agg.Snapshot()
+		fmt.Fprintf(os.Stderr, "kpart: stats: %d FM passes, %d moves; %d carves (%d rejected), %d replicas, %d rollbacks\n",
+			c.Passes, c.Moves, c.Carves, c.RejectedCarves, c.Replicas, c.Rollbacks)
+	}
+	if jsonl != nil {
+		if jerr := jsonl.Err(); jerr != nil && err == nil {
+			err = fmt.Errorf("writing %s: %w", cfg.statsJSON, jerr)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -99,13 +223,16 @@ func run(path string, threshold, solutions int, seed int64, gate, verbose, check
 		s.ReplicatedCells(), s.ReplicatedPct(res.SourceCells))
 	fmt.Printf("search: %d feasible solutions, %d failed attempts; cost spread min=%.0f mean=%.0f max=%.0f\n",
 		res.Feasible, res.Failed, res.CostMin, res.CostMean, res.CostMax)
-	if check {
+	if res.Stopped != "" {
+		fmt.Printf("search: stopped early (%s) with the best solution so far\n", res.Stopped)
+	}
+	if cfg.check {
 		if err := res.Verify(g); err != nil {
 			return err
 		}
 		fmt.Println("verify: partition is consistent (coverage, producers, IOB accounting)")
 	}
-	if verbose {
+	if cfg.verbose {
 		t := report.NewTable("", "Part", "Device", "CLBs", "Util", "Terms", "IOBs", "Cells", "Replicas")
 		for i, p := range res.Parts {
 			t.Row(fmt.Sprintf("P%d", i), p.Device.Name, p.Graph.TotalArea(),
@@ -114,16 +241,16 @@ func run(path string, threshold, solutions int, seed int64, gate, verbose, check
 		}
 		t.Render(os.Stdout)
 	}
-	if jsonOut {
+	if cfg.jsonOut {
 		if err := writeJSON(os.Stdout, g, res); err != nil {
 			return err
 		}
 	}
-	if outDir != "" {
-		if err := writeParts(outDir, g.Name, res); err != nil {
+	if cfg.outDir != "" {
+		if err := writeParts(cfg.outDir, g.Name, res); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d part netlists to %s\n", len(res.Parts), outDir)
+		fmt.Printf("wrote %d part netlists to %s\n", len(res.Parts), cfg.outDir)
 	}
 	return nil
 }

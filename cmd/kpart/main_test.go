@@ -1,14 +1,21 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"fpgapart/internal/bench"
 	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/kway"
 	"fpgapart/internal/netlist"
+	"fpgapart/internal/search"
 )
 
 // capture redirects stdout around fn.
@@ -49,7 +56,7 @@ func writeCLB(t *testing.T) string {
 func TestRunCLB(t *testing.T) {
 	path := writeCLB(t)
 	out, err := capture(t, func() error {
-		return run(path, 1, 3, 1, false, true, true, "", false)
+		return run(runConfig{path: path, threshold: 1, solutions: 3, seed: 1, verbose: true, check: true})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +83,7 @@ func TestRunGateNetlist(t *testing.T) {
 	}
 	f.Close()
 	out, err := capture(t, func() error {
-		return run(path, 1, 2, 1, true, false, false, "", false)
+		return run(runConfig{path: path, threshold: 1, solutions: 2, seed: 1, gate: true})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +95,7 @@ func TestRunGateNetlist(t *testing.T) {
 
 func TestRunMissingFile(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run("/nonexistent.clb", 1, 1, 1, false, false, false, "", false)
+		return run(runConfig{path: "/nonexistent.clb", threshold: 1, solutions: 1, seed: 1})
 	}); err == nil {
 		t.Fatal("expected error for missing file")
 	}
@@ -96,11 +103,66 @@ func TestRunMissingFile(t *testing.T) {
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
 
+func TestRunStatsJSONAndTimeout(t *testing.T) {
+	path := writeCLB(t)
+	stats := filepath.Join(t.TempDir(), "stats.jsonl")
+	out, err := capture(t, func() error {
+		return run(runConfig{path: path, threshold: 1, solutions: 3, seed: 1,
+			timeout: time.Minute, statsJSON: stats})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "partition: k=") {
+		t.Fatalf("missing partition line:\n%s", out)
+	}
+	data, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty stats file")
+	}
+	var sawSolution bool
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", ln, err)
+		}
+		if m["event"] == "solution" {
+			sawSolution = true
+		}
+	}
+	if !sawSolution {
+		t.Fatalf("no solution events among %d lines", len(lines))
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	if got := exitCode(errors.New("boom")); got != 1 {
+		t.Fatalf("generic error -> %d, want 1", got)
+	}
+	inf := &kway.InfeasibleError{Attempts: 5, First: errors.New("no carve")}
+	if got := exitCode(fmt.Errorf("wrap: %w", inf)); got != 2 {
+		t.Fatalf("infeasible -> %d, want 2", got)
+	}
+	budget := &search.ErrBudget{Cause: context.DeadlineExceeded, Folded: 0}
+	if got := exitCode(fmt.Errorf("wrap: %w", budget)); got != 3 {
+		t.Fatalf("budget -> %d, want 3", got)
+	}
+	// A timeout with no feasible solution wraps both; budget wins.
+	both := fmt.Errorf("kway: %v: %w", inf, budget)
+	if got := exitCode(both); got != 3 {
+		t.Fatalf("budget+infeasible -> %d, want 3", got)
+	}
+}
+
 func TestRunJSONAndParts(t *testing.T) {
 	path := writeCLB(t)
 	dir := filepath.Join(t.TempDir(), "parts")
 	out, err := capture(t, func() error {
-		return run(path, 1, 3, 1, false, false, false, dir, true)
+		return run(runConfig{path: path, threshold: 1, solutions: 3, seed: 1, outDir: dir, jsonOut: true})
 	})
 	if err != nil {
 		t.Fatal(err)

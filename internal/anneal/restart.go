@@ -1,0 +1,103 @@
+package anneal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/replication"
+	"fpgapart/internal/search"
+)
+
+// Restarts configures a multi-start annealing portfolio: independent
+// runs from the same initial assignment, differing only in their seed
+// stream, with the lowest-cut run winning. The portfolio is hosted on
+// the internal/search orchestrator, so it shares the partitioner's
+// concurrency and cancellation story: results are deterministic for a
+// fixed seed regardless of worker count, and cancellation is observed
+// only at restart boundaries (a completed portfolio is bit-identical
+// whether or not a deadline was armed).
+type Restarts struct {
+	Config
+	// Starts is the number of independent restarts (default 4).
+	Starts int
+	// Workers bounds parallelism (default: min(GOMAXPROCS, Starts)).
+	Workers int
+	// MaxStale stops early after this many consecutive non-improving
+	// restarts (0 = run all Starts).
+	MaxStale int
+}
+
+// BestRestart is the winning run of a restart portfolio.
+type BestRestart struct {
+	Result
+	// Start is the index of the winning restart; its seed was
+	// Config.Seed + Start*restartStride.
+	Start int
+	// State is the winning final state (best configuration restored).
+	State *replication.State
+}
+
+// restartStride separates the restarts' seed streams; a large prime
+// keeps the per-restart generators uncorrelated.
+const restartStride = 7919
+
+// RunRestarts anneals a portfolio of Starts independent runs of the
+// initial assignment and returns the lowest-cut outcome (ties broken
+// toward the earliest restart index). Restart 0 reproduces
+// Run(NewState(g, assign), cfg) exactly.
+func RunRestarts(ctx context.Context, g *hypergraph.Graph, assign []replication.Block, cfg Restarts) (BestRestart, error) {
+	if cfg.Starts == 0 {
+		cfg.Starts = 4
+	}
+	if cfg.Starts < 0 {
+		return BestRestart{}, fmt.Errorf("anneal: Starts must be non-negative, got %d", cfg.Starts)
+	}
+	drv := search.Driver[BestRestart]{
+		NewAttempt: func() search.AttemptFunc[BestRestart] {
+			return func(ctx context.Context, start int, seed int64) (BestRestart, error) {
+				// Deterministic cancellation checkpoint: the budget is
+				// observed only between restarts, never mid-anneal.
+				if err := ctx.Err(); err != nil {
+					return BestRestart{}, err
+				}
+				st, err := replication.NewState(g, assign)
+				if err != nil {
+					return BestRestart{}, err
+				}
+				c := cfg.Config
+				c.Seed = seed
+				res, err := Run(st, c)
+				if err != nil {
+					return BestRestart{}, err
+				}
+				return BestRestart{Result: res, Start: start, State: st}, nil
+			}
+		},
+		Better: func(a, b BestRestart) bool { return a.Cut < b.Cut },
+		// Annealing failures are configuration errors, not randomness:
+		// abort instead of quietly dropping restarts.
+		Fatal: func(error) bool { return true },
+	}
+	out, err := search.Run(ctx, search.Options{
+		Attempts:   cfg.Starts,
+		Workers:    cfg.Workers,
+		Seed:       cfg.Seed,
+		SeedStride: restartStride,
+		MaxStale:   cfg.MaxStale,
+	}, drv)
+	if err != nil {
+		var budget *search.ErrBudget
+		if out.Found && errors.As(err, &budget) {
+			// Budget-truncated portfolio with a winner in hand: return it.
+			return out.Best, nil
+		}
+		var ae *search.AttemptError
+		if errors.As(err, &ae) {
+			return BestRestart{}, ae.Err
+		}
+		return BestRestart{}, err
+	}
+	return out.Best, nil
+}

@@ -1,0 +1,73 @@
+package anneal
+
+import (
+	"context"
+	"testing"
+
+	"fpgapart/internal/fm"
+	"fpgapart/internal/replication"
+)
+
+func TestRunRestartsNoWorseThanFirstStart(t *testing.T) {
+	g := testGraph(t, 120, 7)
+	minA, maxA := fm.Balance(g.TotalArea(), 0.10)
+	assign := fm.RandomAssign(g, 7)
+	cfg := Config{MinArea: minA, MaxArea: maxA, Threshold: NoReplication, Seed: 7, Sweeps: 30}
+
+	st, err := replication.NewState(g, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := RunRestarts(context.Background(), g, assign, Restarts{Config: cfg, Starts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restart 0 reproduces the single run, so the portfolio best can
+	// only match or beat it.
+	if best.Cut > single.Cut {
+		t.Fatalf("portfolio best %d worse than single run %d", best.Cut, single.Cut)
+	}
+	if best.State == nil || best.Cut != best.State.CutSize() {
+		t.Fatalf("winning state inconsistent with result: %+v", best)
+	}
+	if err := best.State.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRestartsDeterministicAcrossWorkers(t *testing.T) {
+	g := testGraph(t, 100, 8)
+	minA, maxA := fm.Balance(g.TotalArea(), 0.10)
+	assign := fm.RandomAssign(g, 8)
+	cfg := Config{MinArea: minA, MaxArea: maxA, Threshold: 0, Seed: 3, Sweeps: 20}
+	run := func(workers int) (int, int) {
+		best, err := RunRestarts(context.Background(), g, assign, Restarts{Config: cfg, Starts: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return best.Cut, best.Start
+	}
+	c1, s1 := run(1)
+	c4, s4 := run(4)
+	if c1 != c4 || s1 != s4 {
+		t.Fatalf("worker count changed the winner: (%d,%d) vs (%d,%d)", c1, s1, c4, s4)
+	}
+}
+
+func TestRunRestartsCancelledUpFront(t *testing.T) {
+	g := testGraph(t, 60, 9)
+	minA, maxA := fm.Balance(g.TotalArea(), 0.10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunRestarts(ctx, g, fm.RandomAssign(g, 9), Restarts{
+		Config: Config{MinArea: minA, MaxArea: maxA, Threshold: NoReplication, Sweeps: 5},
+		Starts: 3,
+	})
+	if err == nil {
+		t.Fatal("pre-cancelled portfolio with no winner should fail")
+	}
+}

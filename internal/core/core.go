@@ -16,6 +16,9 @@
 package core
 
 import (
+	"context"
+	"time"
+
 	"fpgapart/internal/fm"
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/kway"
@@ -23,6 +26,7 @@ import (
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/replication"
 	"fpgapart/internal/techmap"
+	"fpgapart/internal/trace"
 )
 
 // NoReplication disables functional replication when used as the
@@ -48,7 +52,22 @@ type Options struct {
 	// Verify runs the partition verifier in-loop on every accepted
 	// carve and every feasible solution (see kway.Options.Verify).
 	Verify bool
-	Seed   int64
+	// Timeout bounds the search wall-clock time (0 = unlimited). The
+	// deadline is observed only at deterministic checkpoints (carve
+	// boundaries), so a search that finishes within the budget is
+	// bit-identical to an unbudgeted run; a search cut short returns
+	// the best solution of the completed attempt prefix with
+	// Result.Stopped set, or an error wrapping *search.ErrBudget when
+	// no feasible solution was found in time.
+	Timeout time.Duration
+	// MaxStale stops the search early after this many consecutive
+	// non-improving feasible solutions (0 = run all Solutions).
+	MaxStale int
+	// Trace, when non-nil, receives structured engine events (see
+	// internal/trace): FM passes, carve attempts and folded solutions.
+	// Must be safe for concurrent use; nil costs nothing.
+	Trace trace.Sink
+	Seed  int64
 }
 
 func (o Options) fill() Options {
@@ -69,15 +88,29 @@ type Result = kway.Result
 // minimizing total device cost (Eq. 1) with average IOB utilization
 // (Eq. 2) as tie-breaker.
 func Partition(g *hypergraph.Graph, opts Options) (Result, error) {
+	return PartitionContext(context.Background(), g, opts)
+}
+
+// PartitionContext is Partition under an external budget: ctx (and
+// Options.Timeout, when set) cancels the search at its deterministic
+// checkpoints. See kway.PartitionContext for the truncation contract.
+func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (Result, error) {
 	opts = opts.fill()
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	kopts := kway.Options{
 		Library:   opts.Library,
 		Threshold: opts.Threshold,
 		Solutions: opts.Solutions,
 		Verify:    opts.Verify,
+		MaxStale:  opts.MaxStale,
+		Trace:     opts.Trace,
 		Seed:      opts.Seed,
 	}
-	res, err := kway.Partition(g, kopts)
+	res, err := kway.PartitionContext(ctx, g, kopts)
 	if err != nil {
 		return res, err
 	}

@@ -5,13 +5,15 @@
 package expt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"fpgapart/internal/bench"
 	"fpgapart/internal/library"
 	"fpgapart/internal/report"
+	"fpgapart/internal/search"
 )
 
 // Config controls experiment scale. The zero value reproduces the
@@ -66,27 +68,34 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// forEachCircuit runs fn over the circuits with bounded parallelism,
-// preserving input order in the results.
+// forEachCircuit runs fn over the circuits on the shared search
+// orchestrator with bounded parallelism, collecting results in input
+// order; the first failing circuit (by input order) aborts the run.
 func forEachCircuit[T any](cfg Config, fn func(bench.Circuit) (T, error)) ([]T, error) {
-	out := make([]T, len(cfg.Circuits))
-	errs := make([]error, len(cfg.Circuits))
-	sem := make(chan struct{}, cfg.Workers)
-	var wg sync.WaitGroup
-	for i, ct := range cfg.Circuits {
-		wg.Add(1)
-		go func(i int, ct bench.Circuit) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = fn(ct)
-		}(i, ct)
+	if len(cfg.Circuits) == 0 {
+		return nil, nil
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("expt: circuit %s: %w", cfg.Circuits[i].Name, err)
+	out := make([]T, len(cfg.Circuits))
+	drv := search.Driver[T]{
+		NewAttempt: func() search.AttemptFunc[T] {
+			return func(_ context.Context, i int, _ int64) (T, error) {
+				return fn(cfg.Circuits[i])
+			}
+		},
+		// Any circuit failure aborts the whole experiment.
+		Fatal:   func(error) bool { return true },
+		Observe: func(i int, v T, _ error, _ bool) { out[i] = v },
+	}
+	_, err := search.Run(context.Background(), search.Options{
+		Attempts: len(cfg.Circuits),
+		Workers:  cfg.Workers,
+	}, drv)
+	if err != nil {
+		var ae *search.AttemptError
+		if errors.As(err, &ae) {
+			return nil, fmt.Errorf("expt: circuit %s: %w", cfg.Circuits[ae.Attempt].Name, ae.Err)
 		}
+		return nil, err
 	}
 	return out, nil
 }

@@ -5,22 +5,28 @@ import (
 
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/replication"
+	"fpgapart/internal/trace"
 )
 
 // A steady-state FM pass must not allocate: the gain buckets are a
 // fixed node pool, candidate gains come from the state's maintained
 // values or its reusable scratch, rollback restores a pre-sized
 // checkpoint, and every growable buffer has reached its high-water mark
-// after the warm-up run.
+// after the warm-up run. The trace sink must not break this: the nil
+// (zero-sink) path costs a predicted branch, and the aggregating sink's
+// per-pass event is a stack-built value consumed by atomic adds.
 func TestFMPassAllocs(t *testing.T) {
 	for _, tc := range []struct {
 		name      string
 		threshold int
 		replOnly  bool
+		sink      trace.Sink
 	}{
-		{"plain", NoReplication, false},
-		{"replication", 0, false},
-		{"replication-only", 0, true},
+		{"plain", NoReplication, false, nil},
+		{"replication", 0, false, nil},
+		{"replication-only", 0, true, nil},
+		{"plain-traced", NoReplication, false, &trace.Agg{}},
+		{"replication-traced", 0, false, &trace.Agg{}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			g := testGraph(t, 300, 5, 0.5)
@@ -30,6 +36,7 @@ func TestFMPassAllocs(t *testing.T) {
 			}
 			var r Runner
 			cfg := equalCfg(g, tc.threshold, 5)
+			cfg.Trace = tc.sink
 			if _, err := r.Run(st, cfg); err != nil {
 				t.Fatal(err)
 			}

@@ -20,6 +20,7 @@ import (
 
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/replication"
+	"fpgapart/internal/trace"
 )
 
 // NoReplication disables replication moves when used as the Threshold.
@@ -43,6 +44,13 @@ type Config struct {
 	FlowRefine bool
 	// Seed orders candidate insertion for tie-breaking.
 	Seed int64
+	// Trace, when non-nil, receives one KindFMPass event per completed
+	// pass. The nil path costs a single predicted branch, keeping the
+	// steady-state pass allocation-free (see TestFMPassAllocs).
+	Trace trace.Sink
+	// TraceAttempt labels emitted events with the enclosing solution
+	// attempt index; use -1 for standalone runs.
+	TraceAttempt int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +96,7 @@ type engine struct {
 	scratch  []hypergraph.CellID
 	best     replication.Checkpoint // per-pass best-prefix snapshot
 	replOnly bool
+	passSeq  int // pass counter for trace events, reset per Run
 }
 
 // Per-cell slot layout (see bind): single-output cells get one slot
@@ -175,6 +184,7 @@ func (r *Runner) Run(st *replication.State, cfg Config) (Result, error) {
 	e := &r.e
 	e.bind(st)
 	e.cfg = cfg
+	e.passSeq = 0
 	for i := range e.order {
 		e.order[i] = hypergraph.CellID(i)
 	}
@@ -407,6 +417,16 @@ func (e *engine) pass() (bool, int) {
 	}
 	if err := e.st.RestoreCheckpoint(&e.best); err != nil {
 		panic(fmt.Sprintf("fm: rollback: %v", err))
+	}
+	e.passSeq++
+	if e.cfg.Trace != nil {
+		e.cfg.Trace.Event(trace.Event{
+			Kind:    trace.KindFMPass,
+			Attempt: e.cfg.TraceAttempt,
+			Pass:    e.passSeq,
+			Moves:   moves,
+			Cut:     bestCut,
+		})
 	}
 	return bestCut < startCut, moves
 }

@@ -18,17 +18,18 @@
 package kway
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"fpgapart/internal/fm"
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/library"
 	"fpgapart/internal/metrics"
 	"fpgapart/internal/replication"
+	"fpgapart/internal/search"
+	"fpgapart/internal/trace"
 	"fpgapart/internal/verify"
 )
 
@@ -54,7 +55,19 @@ type Options struct {
 	// with a *VerificationError — they indicate a partitioner bug, not
 	// an infeasible instance.
 	Verify bool
-	Seed   int64
+	// MaxStale stops the search early after this many consecutive
+	// feasible solutions fail to improve the incumbent best (0 = run
+	// all Solutions attempts). The stop is evaluated in deterministic
+	// attempt-index order, so results stay schedule-independent.
+	MaxStale int
+	// Trace, when non-nil, receives structured engine events: one
+	// KindFMPass per FM pass and one KindCarveAccepted/Rejected per
+	// carve attempt (emitted concurrently by the search workers,
+	// labeled with their attempt index), plus one KindSolution per
+	// folded solution attempt (emitted in deterministic index order).
+	// The sink must be safe for concurrent use.
+	Trace trace.Sink
+	Seed  int64
 }
 
 // VerificationError reports an in-loop invariant violation detected by
@@ -72,14 +85,51 @@ func (e *VerificationError) Error() string {
 
 func (e *VerificationError) Unwrap() error { return e.Err }
 
-func (o Options) withDefaults() Options {
+// InfeasibleError reports that the randomized search completed without
+// generating a single feasible k-way solution — the "instance does not
+// fit the library" failure mode, distinct from verification failures
+// (partitioner bugs, *VerificationError) and from budget exhaustion
+// (*search.ErrBudget). cmd/kpart maps it to its own exit code.
+type InfeasibleError struct {
+	// Attempts is the number of solution attempts that all failed.
+	Attempts int
+	// First preserves the first attempt's failure for diagnosis.
+	First error
+}
+
+func (e *InfeasibleError) Error() string {
+	if e.First == nil {
+		return fmt.Sprintf("kway: no feasible solution in %d attempts", e.Attempts)
+	}
+	return fmt.Sprintf("kway: no feasible solution in %d attempts (first failure: %v)", e.Attempts, e.First)
+}
+
+func (e *InfeasibleError) Unwrap() error { return e.First }
+
+// seedStride separates consecutive attempts' seed streams; a large
+// prime keeps the per-attempt generators uncorrelated.
+const seedStride = 104729
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Solutions < 0 {
+		return o, fmt.Errorf("kway: Solutions must be non-negative, got %d", o.Solutions)
+	}
+	if o.Retries < 0 {
+		return o, fmt.Errorf("kway: Retries must be non-negative, got %d", o.Retries)
+	}
+	if o.MaxPasses < 0 {
+		return o, fmt.Errorf("kway: MaxPasses must be non-negative, got %d", o.MaxPasses)
+	}
+	if o.MaxStale < 0 {
+		return o, fmt.Errorf("kway: MaxStale must be non-negative, got %d", o.MaxStale)
+	}
 	if o.Solutions == 0 {
 		o.Solutions = 50
 	}
 	if o.Retries == 0 {
 		o.Retries = 20
 	}
-	return o
+	return o, nil
 }
 
 // Part is one partition of the final solution.
@@ -103,7 +153,18 @@ type Result struct {
 	// feasible solutions the randomized search generated — the spread
 	// the best-of-N selection exploits.
 	CostMin, CostMax, CostMean float64
+	// Stopped records why the search ended before folding all Solutions
+	// attempts: "" (ran to completion), StoppedStale (MaxStale
+	// consecutive non-improving solutions) or StoppedBudget (context
+	// cancellation/deadline with a feasible incumbent in hand).
+	Stopped string
 }
+
+// Result.Stopped values.
+const (
+	StoppedStale  = "stale"
+	StoppedBudget = "budget"
+)
 
 // Verify checks the result against its source circuit with the full
 // partition verifier: structural validity, device feasibility, cell
@@ -118,98 +179,135 @@ func (r Result) Verify(src *hypergraph.Graph) error {
 
 // Partition searches for the minimum-cost feasible k-way partition.
 func Partition(g *hypergraph.Graph, opts Options) (Result, error) {
-	opts = opts.withDefaults()
+	return PartitionContext(context.Background(), g, opts)
+}
+
+// PartitionContext is Partition under a budget: the context's
+// deadline/cancellation is observed only at deterministic checkpoints
+// (carve boundaries inside each attempt), so a search that runs to
+// completion is bit-identical whether or not a budget was armed. When
+// the budget fires mid-search the longest contiguous prefix of
+// completed attempts is folded: with a feasible incumbent the best so
+// far is returned with Result.Stopped = StoppedBudget and a nil error;
+// with none, the error wraps *search.ErrBudget.
+func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (Result, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
 	if err := opts.Library.Validate(); err != nil {
 		return Result{}, err
 	}
 	if g.NumCells() == 0 {
 		return Result{}, errors.New("kway: empty circuit")
 	}
-	// Solution attempts are independent; run them on a bounded worker
-	// pool and pick the winner in index order, which keeps the search
-	// deterministic regardless of scheduling.
-	type attempt struct {
-		parts []Part
-		err   error
-	}
-	results := make([]attempt, opts.Solutions)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > opts.Solutions {
-		workers = opts.Solutions
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+	// Solution attempts are independent; the orchestrator runs them on
+	// a bounded worker pool and folds them in index order, which keeps
+	// the search deterministic regardless of scheduling. The fold-side
+	// statistics below are maintained inside Observe — single-threaded,
+	// index-ordered — so the float accumulation order is fixed too.
+	var (
+		feasible, failed          int
+		costMin, costMax, costSum float64
+		firstErr                  error
+	)
+	drv := search.Driver[Result]{
+		NewAttempt: func() search.AttemptFunc[Result] {
 			// Per-worker scratch: the FM runner's gain buckets, the
 			// cluster-growing buffers and the replication state are all
 			// reused across carve attempts and solution attempts, so a
 			// warm worker allocates only for the materialized subcircuits.
 			var sc carveScratch
-			for i := range next {
-				seed := opts.Seed + int64(i)*104729
-				parts, err := partitionOnce(g, opts, seed, &sc)
-				results[i] = attempt{parts, err}
+			return func(ctx context.Context, attempt int, seed int64) (Result, error) {
+				parts, err := partitionOnce(ctx, g, opts, attempt, seed, &sc)
+				if err != nil {
+					return Result{}, err
+				}
+				remapDevices(parts, opts.Library)
+				res := assemble(g, parts)
+				if opts.Verify {
+					if verr := res.Verify(g); verr != nil {
+						return Result{}, &VerificationError{Stage: "solution", Err: verr}
+					}
+				}
+				return res, nil
 			}
-		}()
-	}
-	for i := 0; i < opts.Solutions; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	var best Result
-	haveBest := false
-	feasible, failed := 0, 0
-	costMin, costMax, costSum := 0.0, 0.0, 0.0
-	var firstErr error
-	for i := 0; i < opts.Solutions; i++ {
-		if results[i].err != nil {
-			// Verification failures are partitioner bugs, never ordinary
-			// infeasibility: surface them instead of counting a failed
-			// attempt.
+		},
+		Better: func(a, b Result) bool { return a.Summary.Better(b.Summary) },
+		// Verification failures are partitioner bugs, never ordinary
+		// infeasibility: abort the search instead of counting a failed
+		// attempt.
+		Fatal: func(err error) bool {
 			var verr *VerificationError
-			if errors.As(results[i].err, &verr) {
-				return Result{}, results[i].err
+			return errors.As(err, &verr)
+		},
+		Observe: func(attempt int, sol Result, err error, improved bool) {
+			if err != nil {
+				failed++
+				if firstErr == nil {
+					firstErr = err
+				}
+				if opts.Trace != nil {
+					opts.Trace.Event(trace.Event{Kind: trace.KindSolution, Attempt: attempt, Reason: err.Error()})
+				}
+				return
 			}
-			failed++
-			if firstErr == nil {
-				firstErr = results[i].err
+			feasible++
+			cost := sol.Summary.DeviceCost()
+			if feasible == 1 || cost < costMin {
+				costMin = cost
 			}
-			continue
-		}
-		feasible++
-		parts := results[i].parts
-		remapDevices(parts, opts.Library)
-		res := assemble(g, parts)
-		if opts.Verify {
-			if err := res.Verify(g); err != nil {
-				return Result{}, &VerificationError{Stage: "solution", Err: err}
+			if cost > costMax {
+				costMax = cost
 			}
-		}
-		cost := res.Summary.DeviceCost()
-		if feasible == 1 || cost < costMin {
-			costMin = cost
-		}
-		if cost > costMax {
-			costMax = cost
-		}
-		costSum += cost
-		if !haveBest || res.Summary.Better(best.Summary) {
-			best = res
-			haveBest = true
+			costSum += cost
+			if opts.Trace != nil {
+				opts.Trace.Event(trace.Event{
+					Kind: trace.KindSolution, Attempt: attempt,
+					Feasible: true, Cost: cost, Parts: len(sol.Parts), Improved: improved,
+				})
+			}
+		},
+	}
+	out, serr := search.Run(ctx, search.Options{
+		Attempts:   opts.Solutions,
+		Seed:       opts.Seed,
+		SeedStride: seedStride,
+		MaxStale:   opts.MaxStale,
+	}, drv)
+	var budget *search.ErrBudget
+	if serr != nil {
+		var ae *search.AttemptError
+		switch {
+		case errors.As(serr, &ae):
+			// Fatal attempt (verification failure): surface the
+			// underlying error itself, preserving the pre-orchestrator
+			// contract that Partition returns the *VerificationError.
+			return Result{}, ae.Err
+		case errors.As(serr, &budget):
+			// The folded prefix may still hold a feasible incumbent.
+		default:
+			return Result{}, serr
 		}
 	}
-	if !haveBest {
-		return Result{}, fmt.Errorf("kway: no feasible solution in %d attempts (first failure: %w)", opts.Solutions, firstErr)
+	if !out.Found {
+		inf := &InfeasibleError{Attempts: out.Stats.Folded, First: firstErr}
+		if budget != nil {
+			return Result{}, fmt.Errorf("%v: %w", inf, budget)
+		}
+		return Result{}, inf
 	}
+	best := out.Best
 	best.Feasible = feasible
 	best.Failed = failed
 	best.SourceCells = g.NumCells()
 	best.CostMin, best.CostMax, best.CostMean = costMin, costMax, costSum/float64(feasible)
+	switch {
+	case budget != nil:
+		best.Stopped = StoppedBudget
+	case out.Stats.StaleStop:
+		best.Stopped = StoppedStale
+	}
 	return best, nil
 }
 
@@ -252,12 +350,18 @@ type carveScratch struct {
 }
 
 // partitionOnce builds one complete k-way solution or fails.
-func partitionOnce(g *hypergraph.Graph, opts Options, seed int64, sc *carveScratch) ([]Part, error) {
+func partitionOnce(ctx context.Context, g *hypergraph.Graph, opts Options, attempt int, seed int64, sc *carveScratch) ([]Part, error) {
 	r := rand.New(rand.NewSource(seed))
 	queue := []*hypergraph.Graph{g}
 	var parts []Part
 	guard := 0
 	for len(queue) > 0 {
+		// Deterministic cancellation checkpoint: the budget is observed
+		// only between carves, never inside FM, so every completed
+		// attempt is bit-identical with or without a deadline armed.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		guard++
 		if guard > 4*g.NumCells()+64 {
 			return nil, fmt.Errorf("kway: recursion guard tripped (seed %d)", seed)
@@ -269,7 +373,7 @@ func partitionOnce(g *hypergraph.Graph, opts Options, seed int64, sc *carveScrat
 			parts = append(parts, Part{Graph: sub, Device: dev, Replicas: countReplicas(sub)})
 			continue
 		}
-		carved, rest, dev, err := carve(sub, opts, r, sc)
+		carved, rest, dev, err := carve(ctx, sub, opts, attempt, r, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -279,10 +383,35 @@ func partitionOnce(g *hypergraph.Graph, opts Options, seed int64, sc *carveScrat
 	return parts, nil
 }
 
+// scratchStats snapshots the replication-state counters when the
+// scratch state is bound to sub (zero otherwise); deltas between two
+// snapshots attribute the state's cumulative work to one carve try.
+func scratchStats(sc *carveScratch, sub *hypergraph.Graph) replication.Stats {
+	if sc.st != nil && sc.st.Graph() == sub {
+		return sc.st.Stats()
+	}
+	return replication.Stats{}
+}
+
+// emitCarve reports one carve try to the trace sink. reason is a
+// static code for rejections ("" for acceptance); res carries the FM
+// work and delta the replication-state work of this try.
+func emitCarve(opts *Options, attempt int, kind trace.Kind, reason string, dev string, area, terms int, res fm.Result, delta replication.Stats) {
+	if opts.Trace == nil {
+		return
+	}
+	opts.Trace.Event(trace.Event{
+		Kind: kind, Attempt: attempt, Reason: reason, Device: dev,
+		Area: area, Terminals: terms,
+		Moves: res.Moves, Pass: res.Passes,
+		Replicas: int(delta.Replicas), Rollbacks: int(delta.Rollbacks),
+	})
+}
+
 // carve splits off one device-sized block from sub. It tries several
 // (device, fill, seed) combinations and returns the first whose carved
 // block satisfies its host device's terminal constraint.
-func carve(sub *hypergraph.Graph, opts Options, r *rand.Rand, sc *carveScratch) (carved, rest *hypergraph.Graph, dev library.Device, err error) {
+func carve(ctx context.Context, sub *hypergraph.Graph, opts Options, attempt int, r *rand.Rand, sc *carveScratch) (carved, rest *hypergraph.Graph, dev library.Device, err error) {
 	total := sub.TotalArea()
 	devices := opts.Library.Devices
 	var lastErr error
@@ -299,7 +428,12 @@ func carve(sub *hypergraph.Graph, opts Options, r *rand.Rand, sc *carveScratch) 
 	want := maxFit
 	termPressure := false
 	termFails := 0
-	for attempt := 0; attempt < opts.Retries; attempt++ {
+	for try := 0; try < opts.Retries; try++ {
+		// Deterministic cancellation checkpoint, mirroring the one at
+		// the carve-queue boundary.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, library.Device{}, cerr
+		}
 		density := float64(sub.NumTerminals()) / float64(total)
 		desired := int((0.85 + 0.15*r.Float64()) * float64(want))
 		if desired >= total {
@@ -308,9 +442,10 @@ func carve(sub *hypergraph.Graph, opts Options, r *rand.Rand, sc *carveScratch) 
 		if desired < 1 {
 			desired = 1
 		}
-		d, ok := pickDevice(devices, total, desired, density, r, attempt)
+		d, ok := pickDevice(devices, total, desired, density, r, try)
 		if !ok {
 			lastErr = fmt.Errorf("kway: no device can carve %d CLBs from %d", desired, total)
+			emitCarve(&opts, attempt, trace.KindCarveRejected, "no-device", "", desired, 0, fm.Result{}, replication.Stats{})
 			continue
 		}
 		target := desired
@@ -322,16 +457,20 @@ func carve(sub *hypergraph.Graph, opts Options, r *rand.Rand, sc *carveScratch) 
 		}
 		if target < d.MinCLBs() {
 			lastErr = fmt.Errorf("kway: device %s cannot carve from %d CLBs", d.Name, total)
+			emitCarve(&opts, attempt, trace.KindCarveRejected, "device-window", d.Name, target, 0, fm.Result{}, replication.Stats{})
 			continue
 		}
-		st, res, cerr := carveFM(sub, d, target, total, opts, r.Int63(), termPressure, sc)
+		before := scratchStats(sc, sub)
+		st, res, cerr := carveFM(sub, d, target, total, opts, attempt, r.Int63(), termPressure, sc)
 		if cerr != nil {
 			lastErr = cerr
+			emitCarve(&opts, attempt, trace.KindCarveRejected, "fm", d.Name, target, 0, fm.Result{}, scratchStats(sc, sub).Sub(before))
 			continue
 		}
-		_ = res
+		delta := st.Stats().Sub(before)
 		if terms := st.Terminals(0); terms > d.IOBs {
 			lastErr = fmt.Errorf("kway: carve for %s needs %d terminals > %d", d.Name, terms, d.IOBs)
+			emitCarve(&opts, attempt, trace.KindCarveRejected, "terminals", d.Name, st.Area(0), terms, res, delta)
 			termFails++
 			// First failure: switch the FM objective to t_P0 and retry
 			// at the same size. Repeated failures under the terminal
@@ -352,15 +491,18 @@ func carve(sub *hypergraph.Graph, opts Options, r *rand.Rand, sc *carveScratch) 
 		}
 		if st.Area(0) < d.MinCLBs() || st.Area(0) > d.MaxCLBs() {
 			lastErr = fmt.Errorf("kway: carve area %d outside device %s window", st.Area(0), d.Name)
+			emitCarve(&opts, attempt, trace.KindCarveRejected, "area-window", d.Name, st.Area(0), st.Terminals(0), res, delta)
 			continue
 		}
 		c, rst, merr := materialize(sub, st)
 		if merr != nil {
 			lastErr = merr
+			emitCarve(&opts, attempt, trace.KindCarveRejected, "materialize", d.Name, st.Area(0), st.Terminals(0), res, delta)
 			continue
 		}
 		if rst.TotalArea() >= total {
 			lastErr = fmt.Errorf("kway: carve made no progress (replication blow-up)")
+			emitCarve(&opts, attempt, trace.KindCarveRejected, "no-progress", d.Name, st.Area(0), st.Terminals(0), res, delta)
 			continue
 		}
 		if opts.Verify {
@@ -371,6 +513,7 @@ func carve(sub *hypergraph.Graph, opts Options, r *rand.Rand, sc *carveScratch) 
 				return nil, nil, library.Device{}, &VerificationError{Stage: "carve", Err: verr}
 			}
 		}
+		emitCarve(&opts, attempt, trace.KindCarveAccepted, "", d.Name, st.Area(0), st.Terminals(0), res, delta)
 		return c, rst, d, nil
 	}
 	return nil, nil, library.Device{}, fmt.Errorf("kway: all carve attempts failed: %w", lastErr)
@@ -418,7 +561,7 @@ func pickDevice(devices []library.Device, totalArea, desired int, density float6
 // carveFM runs (replication-)FM with asymmetric bounds: block 0 must
 // land in the device's utilization window, block 1 holds the rest.
 // With pinTerminals, the FM objective becomes t_P0 instead of the cut.
-func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Options, seed int64, pinTerminals bool, sc *carveScratch) (*replication.State, fm.Result, error) {
+func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Options, attempt int, seed int64, pinTerminals bool, sc *carveScratch) (*replication.State, fm.Result, error) {
 	// The carve must stay near its target: without a floor, FM
 	// minimizes the cut by collapsing block 0 to a handful of cells,
 	// which wastes a device per carve.
@@ -430,11 +573,13 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 		minCarve = 1
 	}
 	cfg := fm.Config{
-		MinArea:   [2]int{minCarve, 0},
-		MaxArea:   [2]int{d.MaxCLBs(), total - minCarve},
-		Threshold: opts.Threshold,
-		MaxPasses: opts.MaxPasses,
-		Seed:      seed,
+		MinArea:      [2]int{minCarve, 0},
+		MaxArea:      [2]int{d.MaxCLBs(), total - minCarve},
+		Threshold:    opts.Threshold,
+		MaxPasses:    opts.MaxPasses,
+		Seed:         seed,
+		Trace:        opts.Trace,
+		TraceAttempt: attempt,
 	}
 	sc.assign = sc.cluster.AssignInto(sc.assign, sub, seed, -1, target)
 	var st *replication.State

@@ -20,7 +20,10 @@ import (
 //
 // It returns the number of accepted pair improvements.
 func Refine(g *hypergraph.Graph, res *Result, opts Options) (int, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return 0, err
+	}
 	accepted := 0
 	for pass := 0; pass < 2; pass++ {
 		improvedThisPass := false

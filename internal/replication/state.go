@@ -158,6 +158,35 @@ type State struct {
 	touchEpoch    uint32
 	lastTouched   []hypergraph.CellID
 	recordTouched bool
+
+	stats Stats
+}
+
+// Stats counts the work performed on a state since construction.
+// Counters are cumulative across Reset/ResetPinned — observers that
+// need per-phase figures snapshot before and after and subtract.
+type Stats struct {
+	// Moves counts successfully applied moves of any kind.
+	Moves int64
+	// Replicas counts applied Replicate moves (replica instances
+	// created, before any unreplication or rollback).
+	Replicas int64
+	// Rollbacks counts moves rolled back, whether one at a time (Undo)
+	// or wholesale (RestoreCheckpoint truncating the trail).
+	Rollbacks int64
+}
+
+// Stats returns the cumulative work counters.
+func (s *State) Stats() Stats { return s.stats }
+
+// Sub returns s - o field-wise: the work performed between two
+// snapshots of the same state.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Moves:     s.Moves - o.Moves,
+		Replicas:  s.Replicas - o.Replicas,
+		Rollbacks: s.Rollbacks - o.Rollbacks,
+	}
 }
 
 // NewState builds the state for an initial replication-free assignment
@@ -671,6 +700,10 @@ func (s *State) Apply(m Move) (Token, error) {
 		s.home[m.Cell] = m.To
 		s.gainS[m.Cell] = s.computeSingleGain(m.Cell)
 	}
+	s.stats.Moves++
+	if m.Kind == Replicate {
+		s.stats.Replicas++
+	}
 	return tok, nil
 }
 
@@ -817,6 +850,7 @@ func (s *State) Undo(tok Token) error {
 	if int(tok) < 0 || int(tok) > len(s.trail) {
 		return fmt.Errorf("replication: invalid undo token %d (trail %d)", tok, len(s.trail))
 	}
+	s.stats.Rollbacks += int64(len(s.trail) - int(tok))
 	for len(s.trail) > int(tok) {
 		e := s.trail[len(s.trail)-1]
 		s.trail = s.trail[:len(s.trail)-1]
@@ -900,6 +934,7 @@ func (s *State) RestoreCheckpoint(cp *Checkpoint) error {
 	copy(s.repl, cp.repl)
 	copy(s.gainS, cp.gainS)
 	copy(s.cnt, cp.cnt)
+	s.stats.Rollbacks += int64(len(s.trail) - cp.trailLen)
 	s.trail = s.trail[:cp.trailLen]
 	s.cut, s.area, s.term = cp.cut, cp.area, cp.term
 	return nil

@@ -1,0 +1,312 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// valueDriver builds a driver whose attempt i deterministically yields
+// vals[i] (or an error for negative entries), minimizing the value.
+func valueDriver(vals []int, observe func(int, int, error, bool)) Driver[int] {
+	return Driver[int]{
+		NewAttempt: func() AttemptFunc[int] {
+			return func(_ context.Context, i int, _ int64) (int, error) {
+				if vals[i] < 0 {
+					return 0, fmt.Errorf("attempt %d failed", i)
+				}
+				return vals[i], nil
+			}
+		},
+		Better:  func(a, b int) bool { return a < b },
+		Observe: observe,
+	}
+}
+
+func TestRunReducesInIndexOrder(t *testing.T) {
+	vals := []int{7, 5, -1, 5, 3, 9}
+	for _, workers := range []int{1, 2, 8} {
+		var order []int
+		out, err := Run(context.Background(), Options{Attempts: len(vals), Workers: workers, Seed: 10},
+			valueDriver(vals, func(i, _ int, _ error, _ bool) { order = append(order, i) }))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !out.Found || out.Best != 3 {
+			t.Fatalf("workers=%d: best=%v found=%v, want 3", workers, out.Best, out.Found)
+		}
+		want := Stats{Folded: 6, Accepted: 5, Failed: 1, Improved: 3}
+		if out.Stats != want {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, out.Stats, want)
+		}
+		for i, idx := range order {
+			if i != idx {
+				t.Fatalf("workers=%d: observation order %v not index order", workers, order)
+			}
+		}
+		if len(order) != len(vals) {
+			t.Fatalf("workers=%d: observed %d attempts, want %d", workers, len(order), len(vals))
+		}
+	}
+}
+
+func TestRunSeedStream(t *testing.T) {
+	seeds := make([]int64, 5)
+	d := Driver[int]{
+		NewAttempt: func() AttemptFunc[int] {
+			return func(_ context.Context, i int, seed int64) (int, error) {
+				seeds[i] = seed
+				return 0, nil
+			}
+		},
+	}
+	if _, err := Run(context.Background(), Options{Attempts: 5, Seed: 100, SeedStride: 7}, d); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		if want := int64(100 + 7*i); s != want {
+			t.Fatalf("attempt %d seed %d, want %d", i, s, want)
+		}
+	}
+}
+
+func TestRunNilBetterKeepsFirst(t *testing.T) {
+	out, err := Run(context.Background(), Options{Attempts: 4},
+		Driver[int]{NewAttempt: func() AttemptFunc[int] {
+			return func(_ context.Context, i int, _ int64) (int, error) { return i + 10, nil }
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best != 10 || out.Stats.Improved != 1 {
+		t.Fatalf("best=%d improved=%d, want first accepted (10) once", out.Best, out.Stats.Improved)
+	}
+}
+
+func TestRunStaleStopDeterministic(t *testing.T) {
+	// Best improves at 0 and 4; indices 1..3 are stale. MaxStale=3
+	// stops the reduction right after folding index 3, so the improving
+	// attempt at 4 must never be folded — on any worker count.
+	vals := []int{5, 6, 6, 6, 1, 1, 1, 1}
+	for _, workers := range []int{1, 3, 8} {
+		var folded int
+		out, err := Run(context.Background(),
+			Options{Attempts: len(vals), Workers: workers, MaxStale: 3},
+			valueDriver(vals, func(int, int, error, bool) { folded++ }))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !out.Stats.StaleStop {
+			t.Fatalf("workers=%d: expected stale stop", workers)
+		}
+		if out.Best != 5 || folded != 4 || out.Stats.Folded != 4 {
+			t.Fatalf("workers=%d: best=%d folded=%d, want best=5 folded=4", workers, out.Best, folded)
+		}
+	}
+}
+
+func TestRunFailedAttemptsDoNotCountStale(t *testing.T) {
+	vals := []int{5, -1, -1, -1, -1, 4}
+	out, err := Run(context.Background(), Options{Attempts: len(vals), MaxStale: 2},
+		valueDriver(vals, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best != 4 || out.Stats.StaleStop {
+		t.Fatalf("best=%d staleStop=%v; failures must not trip the stale stop", out.Best, out.Stats.StaleStop)
+	}
+}
+
+func TestRunFatalAbortsAtFirstFoldedIndex(t *testing.T) {
+	fatalErr := errors.New("invariant violated")
+	d := Driver[int]{
+		NewAttempt: func() AttemptFunc[int] {
+			return func(_ context.Context, i int, _ int64) (int, error) {
+				if i == 3 {
+					return 0, fatalErr
+				}
+				return i, nil
+			}
+		},
+		Better: func(a, b int) bool { return a < b },
+		Fatal:  func(err error) bool { return errors.Is(err, fatalErr) },
+	}
+	for _, workers := range []int{1, 4} {
+		out, err := Run(context.Background(), Options{Attempts: 10, Workers: workers}, d)
+		var ae *AttemptError
+		if !errors.As(err, &ae) || ae.Attempt != 3 || !errors.Is(err, fatalErr) {
+			t.Fatalf("workers=%d: err=%v, want *AttemptError at 3 wrapping fatalErr", workers, err)
+		}
+		if out.Stats.Folded != 3 || out.Best != 0 {
+			t.Fatalf("workers=%d: folded=%d best=%d, want prefix 0..2", workers, out.Stats.Folded, out.Best)
+		}
+	}
+}
+
+// TestRunBudgetPrefix cancels the search after the first K attempts
+// have been folded; attempts past K block until cancellation. The
+// outcome must be exactly the reduction over the first K indices, and
+// the error a *ErrBudget that still carries the best partial result.
+func TestRunBudgetPrefix(t *testing.T) {
+	const k = 3
+	vals := []int{9, 4, 6, 2, 1, 1, 1, 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d := Driver[int]{
+		NewAttempt: func() AttemptFunc[int] {
+			return func(ctx context.Context, i int, _ int64) (int, error) {
+				if i >= k {
+					<-ctx.Done() // deterministic checkpoint: abandon on cancel
+					return 0, fmt.Errorf("attempt %d: %w", i, ctx.Err())
+				}
+				return vals[i], nil
+			}
+		},
+		Better: func(a, b int) bool { return a < b },
+		Observe: func(i, _ int, _ error, _ bool) {
+			if i == k-1 {
+				cancel()
+			}
+		},
+	}
+	out, err := Run(ctx, Options{Attempts: len(vals), Workers: 4}, d)
+	var be *ErrBudget
+	if !errors.As(err, &be) {
+		t.Fatalf("err=%v, want *ErrBudget", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("budget error should wrap context.Canceled, got %v", err)
+	}
+	if be.Folded != k || out.Stats.Folded != k {
+		t.Fatalf("folded=%d, want %d", be.Folded, k)
+	}
+	if !out.Found || out.Best != 4 {
+		t.Fatalf("best=%d found=%v, want best of prefix (4)", out.Best, out.Found)
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	d := Driver[int]{
+		NewAttempt: func() AttemptFunc[int] {
+			return func(ctx context.Context, i int, _ int64) (int, error) {
+				if i == 0 {
+					return 1, nil
+				}
+				<-ctx.Done()
+				return 0, ctx.Err()
+			}
+		},
+		Better: func(a, b int) bool { return a < b },
+	}
+	out, err := Run(ctx, Options{Attempts: 6, Workers: 2}, d)
+	var be *ErrBudget
+	if !errors.As(err, &be) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want *ErrBudget wrapping deadline", err)
+	}
+	if !out.Found || out.Best != 1 {
+		t.Fatalf("best partial result lost: %+v", out)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ok := Driver[int]{NewAttempt: func() AttemptFunc[int] {
+		return func(context.Context, int, int64) (int, error) { return 0, nil }
+	}}
+	for name, run := range map[string]func() (Outcome[int], error){
+		"nil attempt": func() (Outcome[int], error) {
+			return Run(context.Background(), Options{Attempts: 1}, Driver[int]{})
+		},
+		"zero attempts": func() (Outcome[int], error) {
+			return Run(context.Background(), Options{}, ok)
+		},
+		"negative attempts": func() (Outcome[int], error) {
+			return Run(context.Background(), Options{Attempts: -2}, ok)
+		},
+		"negative workers": func() (Outcome[int], error) {
+			return Run(context.Background(), Options{Attempts: 1, Workers: -1}, ok)
+		},
+		"negative stale": func() (Outcome[int], error) {
+			return Run(context.Background(), Options{Attempts: 1, MaxStale: -1}, ok)
+		},
+	} {
+		if _, err := run(); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+// TestRunWorkerScratchIsolation checks NewAttempt is invoked once per
+// worker so closures can own scratch without locking.
+func TestRunWorkerScratchIsolation(t *testing.T) {
+	var factories atomic.Int32
+	var mu sync.Mutex
+	perWorker := map[*int]int{}
+	d := Driver[int]{
+		NewAttempt: func() AttemptFunc[int] {
+			factories.Add(1)
+			scratch := new(int)
+			return func(_ context.Context, i int, _ int64) (int, error) {
+				*scratch++
+				mu.Lock()
+				perWorker[scratch]++
+				mu.Unlock()
+				return i, nil
+			}
+		},
+	}
+	if _, err := Run(context.Background(), Options{Attempts: 20, Workers: 4}, d); err != nil {
+		t.Fatal(err)
+	}
+	if n := factories.Load(); n != 4 {
+		t.Fatalf("NewAttempt called %d times, want once per worker (4)", n)
+	}
+	total := 0
+	for scratch, n := range perWorker {
+		if *scratch != n {
+			t.Fatalf("scratch reuse mismatch: %d uses recorded, counter %d", n, *scratch)
+		}
+		total += n
+	}
+	if total != 20 {
+		t.Fatalf("attempts across workers = %d, want 20", total)
+	}
+}
+
+// TestRunCancelRace drives cancellation concurrently with running
+// workers; meaningful under -race.
+func TestRunCancelRace(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(time.Duration(trial%4) * 100 * time.Microsecond)
+			cancel()
+		}()
+		d := Driver[int]{
+			NewAttempt: func() AttemptFunc[int] {
+				return func(ctx context.Context, i int, _ int64) (int, error) {
+					if err := ctx.Err(); err != nil {
+						return 0, err
+					}
+					time.Sleep(50 * time.Microsecond)
+					return i, nil
+				}
+			},
+			Better: func(a, b int) bool { return a < b },
+		}
+		out, err := Run(ctx, Options{Attempts: 64, Workers: 8}, d)
+		var be *ErrBudget
+		if err != nil && !errors.As(err, &be) {
+			t.Fatalf("unexpected error kind: %v", err)
+		}
+		if err == nil && out.Stats.Folded != 64 {
+			t.Fatalf("clean completion folded %d of 64", out.Stats.Folded)
+		}
+		cancel()
+	}
+}

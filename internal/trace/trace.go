@@ -1,0 +1,307 @@
+// Package trace is the structured observability layer of the
+// partitioning engines: an allocation-conscious event stream with
+// pluggable sinks. The hot paths (kway's carve loop, fm's pass loop)
+// emit one flat Event per unit of work behind a nil-check, so the
+// zero-sink configuration costs a predicted branch and the enabled
+// path allocates nothing either — events are stack-built value
+// structs, the aggregating sink uses atomic counters and the JSONL
+// sink reuses one encode buffer under its mutex.
+//
+// Sinks must be safe for concurrent use: carve and FM-pass events are
+// emitted by the search workers in completion order (each labeled with
+// its solution attempt index), while solution events are emitted by
+// the single-threaded index-ordered reduction, so their order is
+// deterministic for a fixed seed.
+package trace
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates events.
+type Kind uint8
+
+const (
+	// KindCarveAccepted marks a carve attempt whose block satisfied its
+	// host device; Area/Terminals/Device describe the carve,
+	// Moves/Passes the FM work it took, Replicas/Rollbacks the
+	// replication-state work.
+	KindCarveAccepted Kind = iota + 1
+	// KindCarveRejected marks a failed carve attempt; Reason is a
+	// static rejection code (no-device, device-window, fm, terminals,
+	// area-window, materialize, no-progress).
+	KindCarveRejected
+	// KindFMPass marks one completed FM pass: Moves applied before the
+	// best-prefix rollback and Cut after it.
+	KindFMPass
+	// KindSolution marks one folded solution attempt of the k-way
+	// search, in deterministic index order: Feasible/Cost/Parts
+	// describe it, Improved whether it became the incumbent best.
+	KindSolution
+)
+
+// String returns the JSONL event-type tag.
+func (k Kind) String() string {
+	switch k {
+	case KindCarveAccepted:
+		return "carve"
+	case KindCarveRejected:
+		return "carve-rejected"
+	case KindFMPass:
+		return "fm-pass"
+	case KindSolution:
+		return "solution"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observation. A single flat struct serves every kind so
+// emitters build it on the stack; unused fields stay zero.
+type Event struct {
+	Kind Kind
+	// Attempt is the solution attempt index the event belongs to
+	// (-1 when the emitter runs outside a k-way search).
+	Attempt int
+	// FM fields.
+	Pass  int
+	Moves int
+	Cut   int
+	// Carve fields.
+	Area      int
+	Terminals int
+	Replicas  int
+	Rollbacks int
+	Device    string
+	Reason    string
+	// Solution fields.
+	Feasible bool
+	Cost     float64
+	Parts    int
+	Improved bool
+}
+
+// Sink receives events. Implementations must be safe for concurrent
+// use; Event must not retain e past the call.
+type Sink interface {
+	Event(e Event)
+}
+
+// Noop discards every event. Hot paths prefer a nil Sink (guarded by a
+// nil-check); Noop exists for call sites that want an always-valid
+// sink value.
+type Noop struct{}
+
+// Event implements Sink.
+func (Noop) Event(Event) {}
+
+// Counters aggregates the event stream into totals.
+type Counters struct {
+	// Moves and Passes total the FM work (from KindFMPass events).
+	Moves, Passes int64
+	// Carves and RejectedCarves count carve attempts by outcome.
+	Carves, RejectedCarves int64
+	// Replicas and Rollbacks total the replication-state work reported
+	// by accepted and rejected carves.
+	Replicas, Rollbacks int64
+	// Solutions and Feasible count folded solution attempts.
+	Solutions, Feasible int64
+}
+
+// Agg is a Sink that aggregates events into Counters with atomic
+// adds — allocation-free and safe under concurrent emission.
+type Agg struct {
+	moves, passes, carves, rejected int64
+	replicas, rollbacks             int64
+	solutions, feasible             int64
+}
+
+// Event implements Sink.
+func (a *Agg) Event(e Event) {
+	switch e.Kind {
+	case KindFMPass:
+		atomic.AddInt64(&a.passes, 1)
+		atomic.AddInt64(&a.moves, int64(e.Moves))
+	case KindCarveAccepted:
+		atomic.AddInt64(&a.carves, 1)
+		atomic.AddInt64(&a.replicas, int64(e.Replicas))
+		atomic.AddInt64(&a.rollbacks, int64(e.Rollbacks))
+	case KindCarveRejected:
+		atomic.AddInt64(&a.rejected, 1)
+		atomic.AddInt64(&a.replicas, int64(e.Replicas))
+		atomic.AddInt64(&a.rollbacks, int64(e.Rollbacks))
+	case KindSolution:
+		atomic.AddInt64(&a.solutions, 1)
+		if e.Feasible {
+			atomic.AddInt64(&a.feasible, 1)
+		}
+	}
+}
+
+// Snapshot returns the current totals.
+func (a *Agg) Snapshot() Counters {
+	return Counters{
+		Moves:          atomic.LoadInt64(&a.moves),
+		Passes:         atomic.LoadInt64(&a.passes),
+		Carves:         atomic.LoadInt64(&a.carves),
+		RejectedCarves: atomic.LoadInt64(&a.rejected),
+		Replicas:       atomic.LoadInt64(&a.replicas),
+		Rollbacks:      atomic.LoadInt64(&a.rollbacks),
+		Solutions:      atomic.LoadInt64(&a.solutions),
+		Feasible:       atomic.LoadInt64(&a.feasible),
+	}
+}
+
+// JSONL is a Sink that writes one JSON object per event. The encoder
+// is hand-rolled over a reused buffer: one mutex-guarded Write per
+// event, no reflection, no per-event allocation at steady state.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONL returns a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Event implements Sink.
+func (j *JSONL) Event(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b := j.buf[:0]
+	b = append(b, `{"event":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","attempt":`...)
+	b = strconv.AppendInt(b, int64(e.Attempt), 10)
+	switch e.Kind {
+	case KindFMPass:
+		b = appendIntField(b, "pass", e.Pass)
+		b = appendIntField(b, "moves", e.Moves)
+		b = appendIntField(b, "cut", e.Cut)
+	case KindCarveAccepted, KindCarveRejected:
+		b = appendIntField(b, "area", e.Area)
+		b = appendIntField(b, "terminals", e.Terminals)
+		b = appendIntField(b, "moves", e.Moves)
+		b = appendIntField(b, "passes", e.Pass)
+		b = appendIntField(b, "replicas", e.Replicas)
+		b = appendIntField(b, "rollbacks", e.Rollbacks)
+		if e.Device != "" {
+			b = appendStringField(b, "device", e.Device)
+		}
+		if e.Reason != "" {
+			b = appendStringField(b, "reason", e.Reason)
+		}
+	case KindSolution:
+		b = append(b, `,"feasible":`...)
+		b = strconv.AppendBool(b, e.Feasible)
+		if e.Feasible {
+			b = append(b, `,"cost":`...)
+			b = strconv.AppendFloat(b, e.Cost, 'g', -1, 64)
+			b = appendIntField(b, "parts", e.Parts)
+			b = append(b, `,"improved":`...)
+			b = strconv.AppendBool(b, e.Improved)
+		} else if e.Reason != "" {
+			b = appendStringField(b, "reason", e.Reason)
+		}
+	}
+	b = append(b, '}', '\n')
+	j.buf = b
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func appendIntField(b []byte, name string, v int) []byte {
+	b = append(b, ',', '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return strconv.AppendInt(b, int64(v), 10)
+}
+
+func appendStringField(b []byte, name, v string) []byte {
+	b = append(b, ',', '"')
+	b = append(b, name...)
+	b = append(b, `":`...)
+	return strconv.AppendQuote(b, v)
+}
+
+// Multi fans every event out to each sink in order. Nil sinks are
+// skipped; with zero or one effective sink the sink itself (or nil) is
+// returned, so call sites keep the cheap nil-check fast path.
+func Multi(sinks ...Sink) Sink {
+	var eff []Sink
+	for _, s := range sinks {
+		if s != nil {
+			eff = append(eff, s)
+		}
+	}
+	switch len(eff) {
+	case 0:
+		return nil
+	case 1:
+		return eff[0]
+	default:
+		return multi(eff)
+	}
+}
+
+type multi []Sink
+
+// Event implements Sink.
+func (m multi) Event(e Event) {
+	for _, s := range m {
+		s.Event(e)
+	}
+}
+
+// Recorder is a Sink that captures events in arrival order, for tests
+// and offline inspection.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event implements Sink.
+func (r *Recorder) Event(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the captured events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Filter returns the captured events of one kind, in arrival order.
+func (r *Recorder) Filter(k Kind) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
