@@ -13,7 +13,8 @@
 // Exit codes: 0 = success; 1 = error (I/O, configuration,
 // verification); 2 = infeasible instance (the full attempt budget ran
 // without a feasible solution); 3 = -timeout expired before any
-// feasible solution.
+// feasible solution; 4 = malformed input (parse error or resource
+// limit, with line/column context on stderr).
 package main
 
 import (
@@ -61,6 +62,7 @@ exit codes:
   1  error (I/O, configuration, verification failure)
   2  infeasible instance: the attempt budget ran without a feasible solution
   3  -timeout expired before any feasible solution was found
+  4  malformed input: parse error or resource limit (line/column on stderr)
 `)
 	}
 	flag.Parse()
@@ -108,6 +110,11 @@ func exitCode(err error) int {
 	var inf *kway.InfeasibleError
 	if errors.As(err, &inf) {
 		return 2
+	}
+	var nperr *netlist.ParseError
+	var hperr *hypergraph.ParseError
+	if errors.As(err, &nperr) || errors.As(err, &hperr) {
+		return 4
 	}
 	return 1
 }

@@ -156,6 +156,49 @@ func TestExitCodes(t *testing.T) {
 	if got := exitCode(both); got != 3 {
 		t.Fatalf("budget+infeasible -> %d, want 3", got)
 	}
+	if got := exitCode(fmt.Errorf("wrap: %w", &netlist.ParseError{Format: "netlist", Line: 3})); got != 4 {
+		t.Fatalf("netlist parse error -> %d, want 4", got)
+	}
+	if got := exitCode(fmt.Errorf("wrap: %w", &hypergraph.ParseError{Line: 7})); got != 4 {
+		t.Fatalf("hypergraph parse error -> %d, want 4", got)
+	}
+}
+
+// Truncated or malformed input must surface line context and map to
+// exit code 4 — not the bare "unexpected EOF"-style error the tool
+// used to print.
+func TestRunMalformedInput(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, file, content string
+		gate                bool
+		wantInMsg           string
+	}{
+		{"truncated-clb", "t.clb", "circuit c\ninput a\ncell u0 area=2 in", false, "line 3"},
+		{"empty-clb", "e.clb", "", false, "missing 'circuit'"},
+		{"truncated-gnl", "t.gnl", "circuit c\ninput a\noutput y\nand y\n", true, "line 4"},
+		{"bad-attr-clb", "b.clb", "circuit c\ncell u0 area=x\n", false, "col"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.file)
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := capture(t, func() error {
+				return run(runConfig{path: path, threshold: 1, solutions: 1, seed: 1, gate: tc.gate})
+			})
+			if err == nil {
+				t.Fatal("expected parse error")
+			}
+			if got := exitCode(err); got != 4 {
+				t.Fatalf("exit code %d, want 4 (err: %v)", got, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantInMsg) {
+				t.Fatalf("error %q should contain %q", err, tc.wantInMsg)
+			}
+		})
+	}
 }
 
 func TestRunJSONAndParts(t *testing.T) {

@@ -1,0 +1,104 @@
+// Command kpartd serves the partitioning engine over HTTP/JSON (see
+// internal/server for the API and its admission/degradation
+// contracts).
+//
+// Usage:
+//
+//	kpartd [-addr :8080] [-workers 2] [-queue 8] [-default-timeout 30s]
+//	       [-max-timeout 5m] [-drain-timeout 30s] [-inject spec]
+//
+// Endpoints:
+//
+//	POST /v1/jobs       submit an asynchronous job (202; 200 on an
+//	                    idempotent replay; 429 + Retry-After when the
+//	                    queue is full; 503 while draining)
+//	GET  /v1/jobs/{id}  retry-safe job status and result lookup
+//	POST /v1/partition  synchronous partition (JSON body, or a raw .clb
+//	                    body with parameters in the query string)
+//	GET  /healthz       liveness (always 200 while the process serves)
+//	GET  /readyz        readiness (503 once draining starts)
+//
+// On SIGTERM/SIGINT the daemon stops admission, drains queued and
+// in-flight jobs, and exits; jobs still running when -drain-timeout
+// expires are cut at their next deterministic carve boundary.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpgapart/internal/faultinject"
+	"fpgapart/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent partition jobs")
+	queue := flag.Int("queue", 8, "bounded job queue depth (full queue sheds load with 429)")
+	defTimeout := flag.Duration("default-timeout", 30*time.Second, "per-job search budget when the request sets none")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested search budgets")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before cutting them")
+	inject := flag.String("inject", "", "deterministic fault plan, e.g. 'panic@attempt=2' (testing only)")
+	flag.Parse()
+
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("kpartd: ")
+
+	plan, err := faultinject.Parse(*inject)
+	if err != nil {
+		log.Fatalf("bad -inject: %v", err)
+	}
+	if plan != nil {
+		log.Printf("fault injection ARMED: %v (testing only)", plan.Rules())
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Inject:         plan,
+		Logf:           log.Printf,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received, draining (timeout %s)", *drain)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the job queue concurrently with the HTTP shutdown:
+	// synchronous handlers block on their jobs, so the worker pool must
+	// finish for hs.Shutdown to return.
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- srv.Shutdown(dctx) }()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := <-drainErr; err != nil {
+		log.Printf("drain cut short: %v", err)
+		fmt.Fprintln(os.Stderr, "kpartd: drain timeout expired; in-flight jobs were canceled")
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/hypergraph"
+)
+
+// TestDaemonLifecycle is the black-box smoke: build the daemon, start
+// it, partition a circuit over HTTP, then SIGTERM it and require a
+// clean drain within five seconds.
+func TestDaemonLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "kpartd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd := exec.Command(bin, "-addr", addr, "-workers", "1", "-queue", "2", "-drain-timeout", "4s")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	waitUp(t, base)
+
+	g, err := bench.Generate(bench.Params{Cells: 120, PrimaryIn: 10, PrimaryOut: 6, Seed: 1, Clustering: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := hypergraph.Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/partition?solutions=3&seed=1", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partition: %d\n%s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"device_cost"`) {
+		t.Fatalf("missing result fields:\n%s", body)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not drain within 5s of SIGTERM")
+	}
+}
+
+func waitUp(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never became healthy", base)
+}

@@ -19,6 +19,7 @@ import (
 	"context"
 	"time"
 
+	"fpgapart/internal/faultinject"
 	"fpgapart/internal/fm"
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/kway"
@@ -67,7 +68,12 @@ type Options struct {
 	// internal/trace): FM passes, carve attempts and folded solutions.
 	// Must be safe for concurrent use; nil costs nothing.
 	Trace trace.Sink
-	Seed  int64
+	// Inject, when non-nil, arms deterministic fault injection at the
+	// engine checkpoints (see internal/faultinject). Panics injected
+	// into workers are contained per attempt and surface as
+	// Result.Degraded. Testing only; leave nil in production.
+	Inject *faultinject.Plan
+	Seed   int64
 }
 
 func (o Options) fill() Options {
@@ -108,6 +114,7 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		Verify:    opts.Verify,
 		MaxStale:  opts.MaxStale,
 		Trace:     opts.Trace,
+		Inject:    opts.Inject,
 		Seed:      opts.Seed,
 	}
 	res, err := kway.PartitionContext(ctx, g, kopts)

@@ -1,0 +1,20 @@
+package faultinject
+
+import "testing"
+
+// The specs documented in README/DESIGN must parse.
+func TestParseDocumentedSpecs(t *testing.T) {
+	for _, s := range []string{
+		"panic@attempt=2",
+		"delay@attempt,delay=50ms",
+		"panic@attempt=2;delay@pass=3,attempt=0,delay=50ms",
+	} {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if p == nil || len(p.Rules()) == 0 {
+			t.Fatalf("Parse(%q): empty plan", s)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a plan from the compact spec grammar used by the
+// -inject flags of the testing binaries:
+//
+//	spec  := rule (";" rule)*
+//	rule  := kind "@" site ["=" index] ("," opt)*
+//	kind  := "panic" | "delay" | "cancel" | "alloccap"
+//	site  := "attempt" | "carve" | "pass"
+//	opt   := "attempt=" int | "delay=" duration | "count=" int
+//
+// The index after the site selects the site ordinal (carve try, FM
+// pass); for site "attempt" it selects the attempt itself. Omitted
+// selectors match everything. Examples:
+//
+//	panic@attempt=2            panic the third solution attempt
+//	delay@pass,delay=2ms       sleep 2ms at every FM pass boundary
+//	cancel@carve=1,attempt=0   spurious cancel, attempt 0, carve try 1
+//	alloccap@carve,count=3     trip the alloc cap on the first 3 carves
+//
+// An empty spec yields a nil plan (injection disabled).
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		r, err := parseRule(rs)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: rule %q: %w", rs, err)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	return NewPlan(rules...), nil
+}
+
+func parseRule(rs string) (Rule, error) {
+	r := Rule{Attempt: Any, Index: Any}
+	head, rest, _ := strings.Cut(rs, ",")
+	kindStr, siteStr, ok := strings.Cut(head, "@")
+	if !ok {
+		return r, fmt.Errorf("want kind@site")
+	}
+	switch kindStr {
+	case "panic":
+		r.Kind = KindPanic
+	case "delay":
+		r.Kind = KindDelay
+	case "cancel":
+		r.Kind = KindCancel
+	case "alloccap":
+		r.Kind = KindAllocCap
+	default:
+		return r, fmt.Errorf("unknown kind %q", kindStr)
+	}
+	siteName, idxStr, hasIdx := strings.Cut(siteStr, "=")
+	switch siteName {
+	case "attempt":
+		r.Site = SiteAttempt
+	case "carve":
+		r.Site = SiteCarve
+	case "pass":
+		r.Site = SitePass
+	default:
+		return r, fmt.Errorf("unknown site %q", siteName)
+	}
+	if hasIdx {
+		n, err := strconv.Atoi(idxStr)
+		if err != nil || n < 0 {
+			return r, fmt.Errorf("bad site index %q", idxStr)
+		}
+		if r.Site == SiteAttempt {
+			r.Attempt = n
+		} else {
+			r.Index = n
+		}
+	}
+	if rest != "" {
+		for _, opt := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(opt), "=")
+			if !ok {
+				return r, fmt.Errorf("bad option %q", opt)
+			}
+			switch key {
+			case "attempt":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return r, fmt.Errorf("bad attempt %q", val)
+				}
+				r.Attempt = n
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return r, fmt.Errorf("bad delay %q", val)
+				}
+				r.Delay = d
+			case "count":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return r, fmt.Errorf("bad count %q", val)
+				}
+				r.Count = n
+			default:
+				return r, fmt.Errorf("unknown option %q", key)
+			}
+		}
+	}
+	if r.Kind == KindDelay && r.Delay <= 0 {
+		return r, fmt.Errorf("delay rule needs delay=<duration>")
+	}
+	return r, nil
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fpgapart/internal/faultinject"
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/replication"
 	"fpgapart/internal/trace"
@@ -51,6 +52,11 @@ type Config struct {
 	// TraceAttempt labels emitted events with the enclosing solution
 	// attempt index; use -1 for standalone runs.
 	TraceAttempt int
+	// Inject, when non-nil, consults the fault plan at every pass
+	// boundary (faultinject.SitePass, ordinal = pass sequence within
+	// the run, labeled with TraceAttempt). Testing only; nil in
+	// production keeps the pass loop allocation-free.
+	Inject *faultinject.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -198,11 +204,21 @@ func (r *Runner) Run(st *replication.State, cfg Config) (Result, error) {
 	// and each pass's best-prefix rollback guarantees phase 2 never
 	// worsens the phase-1 cut.
 	res := Result{Cut: st.CutSize()}
+	// A fault injected at a pass boundary aborts the run with its typed
+	// error (panic faults propagate to the search layer's containment);
+	// injectErr carries it out of the phase closure.
+	var injectErr error
 	phase := func(threshold int, replOnly bool) bool {
 		e.cfg.Threshold = threshold
 		e.replOnly = replOnly
 		any := false
 		for pass := 0; pass < cfg.MaxPasses; pass++ {
+			if cfg.Inject != nil {
+				if err := cfg.Inject.At(faultinject.SitePass, cfg.TraceAttempt, res.Passes, cfg.Seed); err != nil {
+					injectErr = err
+					return any
+				}
+			}
 			improved, moves := e.pass()
 			res.Passes++
 			res.Moves += moves
@@ -224,10 +240,14 @@ func (r *Runner) Run(st *replication.State, cfg Config) (Result, error) {
 		for round := 0; round < cfg.MaxPasses; round++ {
 			p := phase(NoReplication, false)
 			rr := phase(cfg.Threshold, true)
-			if !p && !rr {
+			if (!p && !rr) || injectErr != nil {
 				break
 			}
 		}
+	}
+	if injectErr != nil {
+		res.Cut = st.CutSize()
+		return res, injectErr
 	}
 	if cfg.FlowRefine {
 		if err := flowRefine(st, cfg); err != nil {

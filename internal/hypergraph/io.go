@@ -71,17 +71,53 @@ func Write(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// Read parses the text format and validates the result.
+// Read parses the text format with the default Limits and validates
+// the result.
 func Read(r io.Reader) (*Graph, error) {
+	return ReadLimits(r, Limits{})
+}
+
+// ReadLimits is Read under explicit resource caps: input exceeding a
+// limit fails fast with a *ParseError wrapping a *LimitError instead
+// of driving unbounded allocation. Syntax errors are *ParseError too,
+// carrying the 1-based line and, where known, the column of the
+// offending token.
+func ReadLimits(r io.Reader, lim Limits) (*Graph, error) {
+	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	sc.Buffer(lim.scanBuf(), lim.MaxLineBytes)
 	var b *Builder
 	lineNo := 0
-	netOf := func(name string) NetID {
+	cells := 0
+	var fanout []int // pins per net, indexed by NetID
+	perr := func(col int, format string, args ...any) error {
+		return &ParseError{Line: lineNo, Col: col, Msg: fmt.Sprintf(format, args...)}
+	}
+	limErr := func(quantity string, value, limit int) error {
+		return &ParseError{Line: lineNo, Err: &LimitError{Quantity: quantity, Value: value, Limit: limit}}
+	}
+	netOf := func(name string) (NetID, error) {
 		if id, ok := b.NetByName(name); ok {
-			return id
+			return id, nil
 		}
-		return b.Net(name)
+		if len(fanout) >= lim.MaxNets {
+			return 0, limErr("nets", len(fanout)+1, lim.MaxNets)
+		}
+		id := b.Net(name)
+		for int(id) >= len(fanout) {
+			fanout = append(fanout, 0)
+		}
+		return id, nil
+	}
+	pin := func(id NetID) error {
+		for int(id) >= len(fanout) {
+			fanout = append(fanout, 0)
+		}
+		fanout[id]++
+		if fanout[id] > lim.MaxFanout {
+			return limErr("fanout", fanout[id], lim.MaxFanout)
+		}
+		return nil
 	}
 	for sc.Scan() {
 		lineNo++
@@ -93,75 +129,109 @@ func Read(r io.Reader) (*Graph, error) {
 		switch fields[0] {
 		case "circuit":
 			if b != nil {
-				return nil, fmt.Errorf("hypergraph: line %d: duplicate circuit line", lineNo)
+				return nil, perr(0, "duplicate circuit line")
 			}
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("hypergraph: line %d: want 'circuit <name>'", lineNo)
+				return nil, perr(0, "want 'circuit <name>'")
 			}
 			b = NewBuilder(fields[1])
 		case "input":
 			if b == nil {
-				return nil, fmt.Errorf("hypergraph: line %d: input before circuit", lineNo)
+				return nil, perr(0, "input before circuit")
 			}
 			for _, n := range fields[1:] {
-				b.InputNet(n)
+				if _, ok := b.NetByName(n); !ok && len(fanout) >= lim.MaxNets {
+					return nil, limErr("nets", len(fanout)+1, lim.MaxNets)
+				}
+				id := b.InputNet(n)
+				for int(id) >= len(fanout) {
+					fanout = append(fanout, 0)
+				}
 			}
 		case "output":
 			if b == nil {
-				return nil, fmt.Errorf("hypergraph: line %d: output before circuit", lineNo)
+				return nil, perr(0, "output before circuit")
 			}
 			for _, n := range fields[1:] {
-				b.MarkOutput(netOf(n))
+				id, err := netOf(n)
+				if err != nil {
+					return nil, err
+				}
+				b.MarkOutput(id)
 			}
 		case "cell":
 			if b == nil {
-				return nil, fmt.Errorf("hypergraph: line %d: cell before circuit", lineNo)
+				return nil, perr(0, "cell before circuit")
 			}
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("hypergraph: line %d: cell needs a name", lineNo)
+				return nil, perr(0, "cell needs a name (truncated record?)")
+			}
+			if cells >= lim.MaxCells {
+				return nil, limErr("cells", cells+1, lim.MaxCells)
 			}
 			spec := CellSpec{Name: fields[1], Area: 1}
 			var depRows []string
-			for _, kv := range fields[2:] {
+			pins := 0
+			for fi, kv := range fields[2:] {
+				col := fieldCol(line, fi+2)
 				key, val, ok := strings.Cut(kv, "=")
 				if !ok {
-					return nil, fmt.Errorf("hypergraph: line %d: bad attribute %q", lineNo, kv)
+					return nil, perr(col, "bad attribute %q (truncated record?)", kv)
 				}
 				switch key {
 				case "area":
 					a, err := strconv.Atoi(val)
 					if err != nil {
-						return nil, fmt.Errorf("hypergraph: line %d: area: %v", lineNo, err)
+						return nil, perr(col, "area: %v", err)
 					}
 					spec.Area = a
 				case "dff":
 					d, err := strconv.Atoi(val)
 					if err != nil {
-						return nil, fmt.Errorf("hypergraph: line %d: dff: %v", lineNo, err)
+						return nil, perr(col, "dff: %v", err)
 					}
 					spec.DFFs = d
 				case "replica":
 					r, err := strconv.Atoi(val)
 					if err != nil {
-						return nil, fmt.Errorf("hypergraph: line %d: replica: %v", lineNo, err)
+						return nil, perr(col, "replica: %v", err)
 					}
 					spec.Replica = r != 0
 				case "in":
 					if val != "" {
 						for _, n := range strings.Split(val, ",") {
-							spec.Inputs = append(spec.Inputs, netOf(n))
+							id, err := netOf(n)
+							if err != nil {
+								return nil, err
+							}
+							if err := pin(id); err != nil {
+								return nil, err
+							}
+							spec.Inputs = append(spec.Inputs, id)
+							pins++
 						}
 					}
 				case "out":
 					if val != "" {
 						for _, n := range strings.Split(val, ",") {
-							spec.Outputs = append(spec.Outputs, netOf(n))
+							id, err := netOf(n)
+							if err != nil {
+								return nil, err
+							}
+							if err := pin(id); err != nil {
+								return nil, err
+							}
+							spec.Outputs = append(spec.Outputs, id)
+							pins++
 						}
 					}
 				case "dep":
 					depRows = strings.Split(val, ";")
 				default:
-					return nil, fmt.Errorf("hypergraph: line %d: unknown attribute %q", lineNo, key)
+					return nil, perr(col, "unknown attribute %q", key)
+				}
+				if pins > lim.MaxPins {
+					return nil, limErr("pins", pins, lim.MaxPins)
 				}
 			}
 			if depRows != nil {
@@ -174,22 +244,26 @@ func Read(r io.Reader) (*Graph, error) {
 						case '1':
 							bits[j] = 1
 						default:
-							return nil, fmt.Errorf("hypergraph: line %d: dep digit %q", lineNo, ch)
+							return nil, perr(0, "dep digit %q", ch)
 						}
 					}
 					spec.DepBits[i] = bits
 				}
 			}
 			b.AddCell(spec)
+			cells++
 		default:
-			return nil, fmt.Errorf("hypergraph: line %d: unknown directive %q", lineNo, fields[0])
+			return nil, perr(fieldCol(line, 0), "unknown directive %q", fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, &ParseError{Line: lineNo + 1, Err: &LimitError{Quantity: "line-bytes", Value: lim.MaxLineBytes + 1, Limit: lim.MaxLineBytes}}
+		}
 		return nil, fmt.Errorf("hypergraph: %w", err)
 	}
 	if b == nil {
-		return nil, fmt.Errorf("hypergraph: missing 'circuit' line")
+		return nil, &ParseError{Msg: "missing 'circuit' line (empty or truncated file?)"}
 	}
 	return b.Build()
 }

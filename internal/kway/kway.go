@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fpgapart/internal/faultinject"
 	"fpgapart/internal/fm"
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/library"
@@ -67,7 +68,14 @@ type Options struct {
 	// folded solution attempt (emitted in deterministic index order).
 	// The sink must be safe for concurrent use.
 	Trace trace.Sink
-	Seed  int64
+	// Inject, when non-nil, arms deterministic fault injection at the
+	// engine's checkpoints: attempt starts (via internal/search), carve
+	// tries and FM pass boundaries. Injected panics are contained per
+	// attempt — the run degrades (Result.Degraded) instead of crashing.
+	// Testing only; nil in production costs one predicted branch per
+	// checkpoint.
+	Inject *faultinject.Plan
+	Seed   int64
 }
 
 // VerificationError reports an in-loop invariant violation detected by
@@ -158,6 +166,14 @@ type Result struct {
 	// consecutive non-improving solutions) or StoppedBudget (context
 	// cancellation/deadline with a feasible incumbent in hand).
 	Stopped string
+	// Degraded reports that at least one solution attempt died to a
+	// contained panic: the result is still the deterministic best of
+	// the surviving attempts, but the panicked indices contributed
+	// nothing. Panicked counts them and PanickedSeeds records the seeds
+	// that died, for offline reproduction of the crash.
+	Degraded      bool
+	Panicked      int
+	PanickedSeeds []int64
 }
 
 // Result.Stopped values.
@@ -210,6 +226,7 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		feasible, failed          int
 		costMin, costMax, costSum float64
 		firstErr                  error
+		panickedSeeds             []int64
 	)
 	drv := search.Driver[Result]{
 		NewAttempt: func() search.AttemptFunc[Result] {
@@ -219,6 +236,17 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 			// warm worker allocates only for the materialized subcircuits.
 			var sc carveScratch
 			return func(ctx context.Context, attempt int, seed int64) (Result, error) {
+				// A panic can leave the reused scratch (gain buckets,
+				// replication state) mid-update; drop it so the worker's
+				// next attempt rebuilds from clean buffers, then let the
+				// search layer's containment turn the panic into a
+				// degraded attempt.
+				defer func() {
+					if v := recover(); v != nil {
+						sc = carveScratch{}
+						panic(v)
+					}
+				}()
 				parts, err := partitionOnce(ctx, g, opts, attempt, seed, &sc)
 				if err != nil {
 					return Result{}, err
@@ -247,8 +275,13 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 				if firstErr == nil {
 					firstErr = err
 				}
+				var perr *search.PanicError
+				panicked := errors.As(err, &perr)
+				if panicked {
+					panickedSeeds = append(panickedSeeds, perr.Seed)
+				}
 				if opts.Trace != nil {
-					opts.Trace.Event(trace.Event{Kind: trace.KindSolution, Attempt: attempt, Reason: err.Error()})
+					opts.Trace.Event(trace.Event{Kind: trace.KindSolution, Attempt: attempt, Reason: err.Error(), Panic: panicked})
 				}
 				return
 			}
@@ -274,6 +307,7 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		Seed:       opts.Seed,
 		SeedStride: seedStride,
 		MaxStale:   opts.MaxStale,
+		Inject:     opts.Inject,
 	}, drv)
 	var budget *search.ErrBudget
 	if serr != nil {
@@ -302,6 +336,9 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 	best.Failed = failed
 	best.SourceCells = g.NumCells()
 	best.CostMin, best.CostMax, best.CostMean = costMin, costMax, costSum/float64(feasible)
+	best.Panicked = out.Stats.Panicked
+	best.PanickedSeeds = panickedSeeds
+	best.Degraded = out.Stats.Panicked > 0
 	switch {
 	case budget != nil:
 		best.Stopped = StoppedBudget
@@ -373,7 +410,7 @@ func partitionOnce(ctx context.Context, g *hypergraph.Graph, opts Options, attem
 			parts = append(parts, Part{Graph: sub, Device: dev, Replicas: countReplicas(sub)})
 			continue
 		}
-		carved, rest, dev, err := carve(ctx, sub, opts, attempt, r, sc)
+		carved, rest, dev, err := carve(ctx, sub, opts, attempt, seed, r, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -410,8 +447,9 @@ func emitCarve(opts *Options, attempt int, kind trace.Kind, reason string, dev s
 
 // carve splits off one device-sized block from sub. It tries several
 // (device, fill, seed) combinations and returns the first whose carved
-// block satisfies its host device's terminal constraint.
-func carve(ctx context.Context, sub *hypergraph.Graph, opts Options, attempt int, r *rand.Rand, sc *carveScratch) (carved, rest *hypergraph.Graph, dev library.Device, err error) {
+// block satisfies its host device's terminal constraint. seed is the
+// enclosing attempt's seed, used only to label injected faults.
+func carve(ctx context.Context, sub *hypergraph.Graph, opts Options, attempt int, seed int64, r *rand.Rand, sc *carveScratch) (carved, rest *hypergraph.Graph, dev library.Device, err error) {
 	total := sub.TotalArea()
 	devices := opts.Library.Devices
 	var lastErr error
@@ -433,6 +471,14 @@ func carve(ctx context.Context, sub *hypergraph.Graph, opts Options, attempt int
 		// the carve-queue boundary.
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, nil, library.Device{}, cerr
+		}
+		// Carve-site fault hook: an injected error abandons the whole
+		// solution attempt (it folds as a failed attempt), an injected
+		// panic is contained one level up, a delay just stalls the try.
+		if opts.Inject != nil {
+			if ferr := opts.Inject.At(faultinject.SiteCarve, attempt, try, seed); ferr != nil {
+				return nil, nil, library.Device{}, ferr
+			}
 		}
 		density := float64(sub.NumTerminals()) / float64(total)
 		desired := int((0.85 + 0.15*r.Float64()) * float64(want))
@@ -580,6 +626,7 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 		Seed:         seed,
 		Trace:        opts.Trace,
 		TraceAttempt: attempt,
+		Inject:       opts.Inject,
 	}
 	sc.assign = sc.cluster.AssignInto(sc.assign, sub, seed, -1, target)
 	var st *replication.State

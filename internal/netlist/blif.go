@@ -53,15 +53,29 @@ func WriteBLIF(w io.Writer, n *Netlist) error {
 	return bw.Flush()
 }
 
-// ReadBLIF parses a BLIF model into a netlist; .names become Lut
-// gates, .latch becomes Dff (clocking details are ignored).
+// ReadBLIF parses a BLIF model into a netlist with the default
+// Limits; .names become Lut gates, .latch becomes Dff (clocking
+// details are ignored).
 func ReadBLIF(r io.Reader) (*Netlist, error) {
+	return ReadBLIFLimits(r, Limits{})
+}
+
+// ReadBLIFLimits is ReadBLIF under explicit resource caps (see
+// Limits); violations fail fast with a *ParseError wrapping a
+// *LimitError. The LUT fan-in cap matters most here: a .names block
+// with k inputs materializes a 2^k-entry truth table.
+func ReadBLIFLimits(r io.Reader, lim Limits) (*Netlist, error) {
+	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	sc.Buffer(lim.scanBuf(), lim.MaxLineBytes)
 	n := &Netlist{}
 	var pendingLut *Gate
 	var cover []string
 	lineNo := 0
+	fanout := make(map[string]int)
+	limErr := func(quantity string, value, limit int) error {
+		return &ParseError{Format: "blif", Line: lineNo, Err: &LimitError{Quantity: quantity, Value: value, Limit: limit}}
+	}
 
 	flush := func() error {
 		if pendingLut == nil {
@@ -76,6 +90,18 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 		pendingLut, cover = nil, nil
 		return nil
 	}
+	admitGate := func(ins []string) error {
+		if len(n.Gates) >= lim.MaxGates {
+			return limErr("gates", len(n.Gates)+1, lim.MaxGates)
+		}
+		for _, in := range ins {
+			fanout[in]++
+			if fanout[in] > lim.MaxFanout {
+				return limErr("fanout", fanout[in], lim.MaxFanout)
+			}
+		}
+		return nil
+	}
 
 	// Logical lines may continue with trailing backslash.
 	var cont string
@@ -88,6 +114,11 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 		raw = strings.TrimSpace(raw)
 		if strings.HasSuffix(raw, "\\") {
 			cont += strings.TrimSuffix(raw, "\\") + " "
+			// A chain of continuation lines forms one logical line; cap
+			// its total size like any other line.
+			if len(cont) > lim.MaxLineBytes {
+				return nil, limErr("line-bytes", len(cont), lim.MaxLineBytes)
+			}
 			continue
 		}
 		line := cont + raw
@@ -119,17 +150,29 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 				return nil, err
 			}
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("blif: line %d: .names needs at least an output", lineNo)
+				return nil, &ParseError{Format: "blif", Line: lineNo, Msg: ".names needs at least an output"}
+			}
+			if len(fields)-1 > lim.MaxPins {
+				return nil, limErr("pins", len(fields)-1, lim.MaxPins)
+			}
+			if len(fields)-2 > lim.MaxLutInputs {
+				return nil, limErr("lut-inputs", len(fields)-2, lim.MaxLutInputs)
 			}
 			out := fields[len(fields)-1]
 			ins := append([]string(nil), fields[1:len(fields)-1]...)
+			if err := admitGate(ins); err != nil {
+				return nil, err
+			}
 			pendingLut = &Gate{Name: "n_" + out, Type: Lut, Out: out, Ins: ins}
 		case ".latch":
 			if err := flush(); err != nil {
 				return nil, err
 			}
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("blif: line %d: .latch needs input and output", lineNo)
+				return nil, &ParseError{Format: "blif", Line: lineNo, Msg: ".latch needs input and output (truncated record?)"}
+			}
+			if err := admitGate(fields[1:2]); err != nil {
+				return nil, err
 			}
 			n.Gates = append(n.Gates, Gate{Name: "l_" + fields[2], Type: Dff, Out: fields[2], Ins: []string{fields[1]}})
 		case ".end":
@@ -140,22 +183,25 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 			// Ignored directives.
 		default:
 			if strings.HasPrefix(fields[0], ".") {
-				return nil, fmt.Errorf("blif: line %d: unsupported directive %q", lineNo, fields[0])
+				return nil, &ParseError{Format: "blif", Line: lineNo, Msg: fmt.Sprintf("unsupported directive %q", fields[0])}
 			}
 			if pendingLut == nil {
-				return nil, fmt.Errorf("blif: line %d: cover row outside .names", lineNo)
+				return nil, &ParseError{Format: "blif", Line: lineNo, Msg: "cover row outside .names"}
 			}
 			cover = append(cover, line)
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, &ParseError{Format: "blif", Line: lineNo + 1, Err: &LimitError{Quantity: "line-bytes", Value: lim.MaxLineBytes + 1, Limit: lim.MaxLineBytes}}
+		}
 		return nil, fmt.Errorf("blif: %w", err)
 	}
 	if err := flush(); err != nil {
 		return nil, err
 	}
 	if n.Name == "" {
-		return nil, fmt.Errorf("blif: missing .model")
+		return nil, &ParseError{Format: "blif", Msg: "missing .model (empty or truncated file?)"}
 	}
 	if err := n.Validate(); err != nil {
 		return nil, err

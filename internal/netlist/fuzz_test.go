@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -45,6 +46,48 @@ func FuzzRead(f *testing.F) {
 		}
 		if _, err := sim.Step(nil); err != nil {
 			t.Fatalf("step: %v", err)
+		}
+	})
+}
+
+// FuzzParseNetlist drives ReadLimits with deliberately tight caps so
+// the limit checks themselves get fuzzed: the seeds each trip one cap.
+// Whatever the input, the parser must return cleanly — any failure
+// must be a typed *ParseError (optionally wrapping a *LimitError),
+// never a panic or an untyped error.
+func FuzzParseNetlist(f *testing.F) {
+	seeds := []string{
+		// Trips MaxGates=4.
+		"circuit c\ninput a\noutput y5\nnot y1 a\nnot y2 y1\nnot y3 y2\nnot y4 y3\nnot y5 y4\n",
+		// Trips MaxPins=8.
+		"circuit c\ninput a b c d e f g h i\noutput y\nand y a b c d e f g h i\n",
+		// Trips MaxFanout=4.
+		"circuit c\ninput a\noutput y\nand y a a a a a\n",
+		// Trips MaxLutInputs=4.
+		"circuit c\ninput a b c d e\noutput y\nlut y a b c d e @10101010101010101010101010101010\n",
+		// Trips MaxLineBytes=256.
+		"circuit c\ninput a\noutput y\nand y a " + strings.Repeat("a ", 200) + "\n",
+		// Truncated gate record.
+		"circuit c\ninput a\noutput y\nand y\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lim := Limits{MaxLineBytes: 256, MaxGates: 4, MaxPins: 8, MaxFanout: 4, MaxLutInputs: 4}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ReadLimits(strings.NewReader(src), lim)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) && !strings.HasPrefix(err.Error(), "netlist:") {
+				t.Fatalf("untyped parse failure: %v", err)
+			}
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("accepted invalid netlist: %v", err)
+		}
+		if len(n.Gates) > lim.MaxGates {
+			t.Fatalf("limit leak: %d gates accepted, cap %d", len(n.Gates), lim.MaxGates)
 		}
 	})
 }

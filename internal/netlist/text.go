@@ -48,15 +48,32 @@ func Write(w io.Writer, n *Netlist) error {
 	return bw.Flush()
 }
 
-// Read parses the text format. Gate names are synthesized from the
-// output net ("g_<out>") since the format identifies gates by the net
-// they drive.
+// Read parses the text format with the default Limits. Gate names are
+// synthesized from the output net ("g_<out>") since the format
+// identifies gates by the net they drive.
 func Read(r io.Reader) (*Netlist, error) {
+	return ReadLimits(r, Limits{})
+}
+
+// ReadLimits is Read under explicit resource caps: input exceeding a
+// limit fails fast with a *ParseError wrapping a *LimitError instead
+// of driving unbounded allocation. Syntax errors are *ParseError too,
+// carrying the 1-based line and, where known, the column of the
+// offending token.
+func ReadLimits(r io.Reader, lim Limits) (*Netlist, error) {
+	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	sc.Buffer(lim.scanBuf(), lim.MaxLineBytes)
 	n := &Netlist{}
 	lineNo := 0
 	sawCircuit := false
+	fanout := make(map[string]int)
+	perr := func(col int, format string, args ...any) error {
+		return &ParseError{Format: "netlist", Line: lineNo, Col: col, Msg: fmt.Sprintf(format, args...)}
+	}
+	limErr := func(quantity string, value, limit int) error {
+		return &ParseError{Format: "netlist", Line: lineNo, Err: &LimitError{Quantity: quantity, Value: value, Limit: limit}}
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -67,10 +84,10 @@ func Read(r io.Reader) (*Netlist, error) {
 		switch fields[0] {
 		case "circuit":
 			if sawCircuit {
-				return nil, fmt.Errorf("netlist: line %d: duplicate circuit line", lineNo)
+				return nil, perr(0, "duplicate circuit line")
 			}
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("netlist: line %d: want 'circuit <name>'", lineNo)
+				return nil, perr(0, "want 'circuit <name>'")
 			}
 			n.Name = fields[1]
 			sawCircuit = true
@@ -81,19 +98,28 @@ func Read(r io.Reader) (*Netlist, error) {
 		default:
 			t, ok := ParseGateType(fields[0])
 			if !ok {
-				return nil, fmt.Errorf("netlist: line %d: unknown gate type %q", lineNo, fields[0])
+				return nil, perr(fieldCol(line, 0), "unknown gate type %q", fields[0])
 			}
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("netlist: line %d: gate needs an output and operands", lineNo)
+				return nil, perr(0, "gate needs an output and operands (truncated record?)")
+			}
+			if len(n.Gates) >= lim.MaxGates {
+				return nil, limErr("gates", len(n.Gates)+1, lim.MaxGates)
+			}
+			if len(fields)-1 > lim.MaxPins {
+				return nil, limErr("pins", len(fields)-1, lim.MaxPins)
 			}
 			g := Gate{Name: "g_" + fields[1], Type: t, Out: fields[1]}
 			rest := fields[2:]
 			if t == Lut {
 				if len(rest) == 0 || !strings.HasPrefix(rest[len(rest)-1], "@") {
-					return nil, fmt.Errorf("netlist: line %d: lut gate needs a trailing @<truth-table>", lineNo)
+					return nil, perr(0, "lut gate needs a trailing @<truth-table>")
 				}
 				bits := strings.TrimPrefix(rest[len(rest)-1], "@")
 				rest = rest[:len(rest)-1]
+				if len(rest) > lim.MaxLutInputs {
+					return nil, limErr("lut-inputs", len(rest), lim.MaxLutInputs)
+				}
 				g.TT = make([]bool, len(bits))
 				for i, ch := range bits {
 					switch ch {
@@ -101,8 +127,14 @@ func Read(r io.Reader) (*Netlist, error) {
 					case '1':
 						g.TT[i] = true
 					default:
-						return nil, fmt.Errorf("netlist: line %d: bad truth-table digit %q", lineNo, ch)
+						return nil, perr(fieldCol(line, len(fields)-1), "bad truth-table digit %q", ch)
 					}
+				}
+			}
+			for _, in := range rest {
+				fanout[in]++
+				if fanout[in] > lim.MaxFanout {
+					return nil, limErr("fanout", fanout[in], lim.MaxFanout)
 				}
 			}
 			g.Ins = append([]string(nil), rest...)
@@ -110,10 +142,13 @@ func Read(r io.Reader) (*Netlist, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, &ParseError{Format: "netlist", Line: lineNo + 1, Err: &LimitError{Quantity: "line-bytes", Value: lim.MaxLineBytes + 1, Limit: lim.MaxLineBytes}}
+		}
 		return nil, fmt.Errorf("netlist: %w", err)
 	}
 	if !sawCircuit {
-		return nil, fmt.Errorf("netlist: missing 'circuit' line")
+		return nil, &ParseError{Format: "netlist", Msg: "missing 'circuit' line (empty or truncated file?)"}
 	}
 	if err := n.Validate(); err != nil {
 		return nil, err

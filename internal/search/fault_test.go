@@ -1,0 +1,194 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fpgapart/internal/faultinject"
+)
+
+// intDriver folds attempt seeds as solutions: attempt i yields value
+// seed+i so every fold is easy to predict, with Better = larger.
+func intDriver(observe func(attempt int, sol int64, err error, improved bool)) Driver[int64] {
+	return Driver[int64]{
+		NewAttempt: func() AttemptFunc[int64] {
+			return func(ctx context.Context, attempt int, seed int64) (int64, error) {
+				return seed, nil
+			}
+		},
+		Better:  func(a, b int64) bool { return a > b },
+		Observe: observe,
+	}
+}
+
+// TestPanicContainmentInjected: a panic injected into one attempt
+// folds as a failed attempt with Stats.Panicked counted; every other
+// attempt still folds, deterministically, and the process survives.
+func TestPanicContainmentInjected(t *testing.T) {
+	plan := faultinject.NewPlan(faultinject.PanicAtAttempt(2))
+	var panics []int
+	d := intDriver(func(attempt int, sol int64, err error, improved bool) {
+		if err != nil {
+			var perr *PanicError
+			if !errors.As(err, &perr) {
+				t.Errorf("attempt %d failed with %T, want *PanicError", attempt, err)
+			} else {
+				panics = append(panics, attempt)
+				if perr.Seed != 100+int64(attempt)*3 {
+					t.Errorf("panicked seed %d, want %d", perr.Seed, 100+int64(attempt)*3)
+				}
+				if perr.Stack == nil || !strings.Contains(perr.Error(), "panicked") {
+					t.Errorf("panic error lacks stack/message: %v", perr)
+				}
+			}
+		}
+	})
+	out, err := Run(context.Background(), Options{Attempts: 5, Seed: 100, SeedStride: 3, Inject: plan}, d)
+	if err != nil {
+		t.Fatalf("degraded search returned error: %v", err)
+	}
+	if out.Stats.Panicked != 1 || out.Stats.Failed != 1 || out.Stats.Accepted != 4 {
+		t.Fatalf("stats %+v, want 1 panicked / 1 failed / 4 accepted", out.Stats)
+	}
+	if len(panics) != 1 || panics[0] != 2 {
+		t.Fatalf("panicked attempts %v, want [2]", panics)
+	}
+	// Best = max surviving seed = attempt 4's.
+	if !out.Found || out.Best != 100+4*3 {
+		t.Fatalf("best %d (found %v), want %d", out.Best, out.Found, 100+4*3)
+	}
+	if seeds := plan.FiredSeeds(faultinject.KindPanic); len(seeds) != 1 || seeds[0] != 106 {
+		t.Fatalf("plan fired seeds %v, want [106]", seeds)
+	}
+}
+
+// TestPanicContainmentInAttemptBody: panics raised by the attempt
+// function itself (not the injector) are contained identically.
+func TestPanicContainmentInAttemptBody(t *testing.T) {
+	d := Driver[int]{
+		NewAttempt: func() AttemptFunc[int] {
+			return func(ctx context.Context, attempt int, seed int64) (int, error) {
+				if attempt == 1 {
+					panic(fmt.Sprintf("boom at %d", attempt))
+				}
+				return attempt, nil
+			}
+		},
+		Better: func(a, b int) bool { return a > b },
+	}
+	out, err := Run(context.Background(), Options{Attempts: 3, Seed: 1}, d)
+	if err != nil {
+		t.Fatalf("contained run errored: %v", err)
+	}
+	if out.Stats.Panicked != 1 || out.Best != 2 {
+		t.Fatalf("stats %+v best %d, want 1 panic and best 2", out.Stats, out.Best)
+	}
+}
+
+// TestAllAttemptsPanic: every attempt dying still terminates cleanly
+// with Found=false and the full prefix folded.
+func TestAllAttemptsPanic(t *testing.T) {
+	plan := faultinject.NewPlan(faultinject.Rule{
+		Site: faultinject.SiteAttempt, Kind: faultinject.KindPanic,
+		Attempt: faultinject.Any, Index: faultinject.Any,
+	})
+	out, err := Run(context.Background(), Options{Attempts: 4, Seed: 9, Inject: plan}, intDriver(nil))
+	if err != nil {
+		t.Fatalf("all-panic run errored: %v", err)
+	}
+	if out.Found || out.Stats.Panicked != 4 || out.Stats.Folded != 4 {
+		t.Fatalf("outcome %+v, want 4 folded panics and no solution", out)
+	}
+}
+
+// TestFatalCanAbortOnPanic: a driver may still classify panics as
+// fatal; the search then aborts with *AttemptError at the first
+// panicked index.
+func TestFatalCanAbortOnPanic(t *testing.T) {
+	plan := faultinject.NewPlan(faultinject.PanicAtAttempt(1))
+	d := intDriver(nil)
+	d.Fatal = func(err error) bool {
+		var perr *PanicError
+		return errors.As(err, &perr)
+	}
+	_, err := Run(context.Background(), Options{Attempts: 4, Seed: 1, Inject: plan}, d)
+	var ae *AttemptError
+	if !errors.As(err, &ae) || ae.Attempt != 1 {
+		t.Fatalf("error %v, want *AttemptError at attempt 1", err)
+	}
+}
+
+// TestSpuriousCancelIsNotBudget: an injected cancellation error wraps
+// context.Canceled while the real context is live; the reduction must
+// fold it as an ordinary failed attempt, not truncate the prefix as a
+// budget stop.
+func TestSpuriousCancelIsNotBudget(t *testing.T) {
+	plan := faultinject.NewPlan(faultinject.CancelAtAttempt(0))
+	var failedAttempts []int
+	d := intDriver(func(attempt int, sol int64, err error, improved bool) {
+		if err != nil {
+			failedAttempts = append(failedAttempts, attempt)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("injected cancel lost its context.Canceled wrap: %v", err)
+			}
+		}
+	})
+	out, err := Run(context.Background(), Options{Attempts: 3, Seed: 5, Inject: plan}, d)
+	if err != nil {
+		t.Fatalf("spurious cancel aborted the search: %v", err)
+	}
+	if out.Stats.Folded != 3 || out.Stats.Failed != 1 || out.Stats.Panicked != 0 {
+		t.Fatalf("stats %+v, want full fold with exactly one failure", out.Stats)
+	}
+	if len(failedAttempts) != 1 || failedAttempts[0] != 0 {
+		t.Fatalf("failed attempts %v, want [0]", failedAttempts)
+	}
+}
+
+// TestDegradedFoldMatchesHealthyFold: the surviving attempts of a
+// degraded run report exactly the same solutions as the same run
+// without injection — the panicked index just flips to failed.
+func TestDegradedFoldMatchesHealthyFold(t *testing.T) {
+	type obs struct {
+		attempt int
+		sol     int64
+		failed  bool
+	}
+	collect := func(inject *faultinject.Plan) ([]obs, Outcome[int64]) {
+		var seen []obs
+		d := intDriver(func(attempt int, sol int64, err error, improved bool) {
+			seen = append(seen, obs{attempt, sol, err != nil})
+		})
+		out, err := Run(context.Background(), Options{Attempts: 6, Seed: 40, SeedStride: 7, Workers: 3, Inject: inject}, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seen, out
+	}
+	healthy, _ := collect(nil)
+	degraded, out := collect(faultinject.NewPlan(faultinject.PanicAtAttempt(3)))
+	if len(healthy) != len(degraded) {
+		t.Fatalf("fold lengths differ: %d vs %d", len(healthy), len(degraded))
+	}
+	for i := range healthy {
+		if degraded[i].attempt != healthy[i].attempt {
+			t.Fatalf("fold order diverged at %d", i)
+		}
+		if healthy[i].attempt == 3 {
+			if !degraded[i].failed {
+				t.Fatal("panicked attempt folded as accepted")
+			}
+			continue
+		}
+		if degraded[i] != healthy[i] {
+			t.Fatalf("surviving attempt %d diverged: %+v vs %+v", healthy[i].attempt, degraded[i], healthy[i])
+		}
+	}
+	// Best over survivors: attempt 5 carries the largest seed.
+	if out.Best != 40+5*7 {
+		t.Fatalf("degraded best %d, want %d", out.Best, 40+5*7)
+	}
+}

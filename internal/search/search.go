@@ -16,6 +16,16 @@
 // attempt indices that completed — so a truncated run reports the same
 // accepted solutions and the same running best as an unbudgeted run
 // folded over that prefix.
+//
+// Attempts are fault-isolated: a panic inside one attempt is recovered
+// by its worker and folded as a failed attempt carrying a typed
+// *PanicError (attempt index, seed, panic value, stack), so one
+// poisoned attempt degrades the reduction — Stats.Panicked counts the
+// casualties — instead of killing the process. Because the reduction
+// is index-ordered and a panicked attempt occupies its index exactly
+// like any other failed attempt, the surviving attempts fold
+// deterministically: a run with attempt i panicked reports the same
+// solutions for every other attempt as a healthy run.
 package search
 
 import (
@@ -23,7 +33,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+
+	"fpgapart/internal/faultinject"
 )
 
 // Options configures one orchestrated search.
@@ -44,6 +57,11 @@ type Options struct {
 	// evaluated during the index-ordered reduction, so it is
 	// deterministic.
 	MaxStale int
+	// Inject, when non-nil, arms deterministic fault injection: each
+	// worker consults the plan at the start of every attempt
+	// (faultinject.SiteAttempt). Production runs leave it nil — the
+	// cost is one predicted branch per attempt.
+	Inject *faultinject.Plan
 }
 
 // AttemptFunc runs one randomized attempt. It must derive all
@@ -78,6 +96,11 @@ type Stats struct {
 	Folded int
 	// Accepted and Failed split the folded attempts by outcome.
 	Accepted, Failed int
+	// Panicked counts the folded attempts that died to a contained
+	// panic (a subset of Failed). A non-zero count marks the reduction
+	// as degraded: it still covers the full prefix deterministically,
+	// but the panicked indices contributed no solution.
+	Panicked int
 	// Improved counts how many accepted solutions became the best.
 	Improved int
 	// StaleStop reports that MaxStale ended the search early.
@@ -123,11 +146,49 @@ func (e *AttemptError) Error() string {
 
 func (e *AttemptError) Unwrap() error { return e.Err }
 
+// PanicError is the contained form of an attempt that panicked: the
+// worker recovers the panic and folds the attempt as failed, carrying
+// this error. It records which seed died and the recovered value plus
+// stack for diagnosis. Unless Driver.Fatal classifies it as fatal, a
+// PanicError never aborts the search — it degrades the reduction.
+type PanicError struct {
+	// Attempt and Seed identify the unit of work that died.
+	Attempt int
+	Seed    int64
+	// Value is the recovered panic value; Stack the goroutine stack
+	// captured at recovery.
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("search: attempt %d (seed %d) panicked: %v", e.Attempt, e.Seed, e.Value)
+}
+
 // report is one attempt's raw outcome in flight to the reducer.
 type report[S any] struct {
 	attempt int
 	sol     S
 	err     error
+}
+
+// runAttempt executes one attempt with panic containment and the
+// attempt-site fault hook. A recovered panic becomes a *PanicError so
+// the reducer folds the attempt as failed instead of the process
+// dying; the deferred recover on the happy path costs nanoseconds and
+// allocates nothing.
+func runAttempt[S any](ctx context.Context, fn AttemptFunc[S], attempt int, seed int64, plan *faultinject.Plan) (sol S, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Attempt: attempt, Seed: seed, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if plan != nil {
+		if ferr := plan.At(faultinject.SiteAttempt, attempt, 0, seed); ferr != nil {
+			return sol, ferr
+		}
+	}
+	return fn(ctx, attempt, seed)
 }
 
 // Run executes the search. It returns a *ErrBudget when the context
@@ -175,7 +236,7 @@ func Run[S any](ctx context.Context, opts Options, d Driver[S]) (Outcome[S], err
 			defer wg.Done()
 			attempt := d.NewAttempt()
 			for i := range next {
-				sol, err := attempt(ctx, i, opts.Seed+int64(i)*stride)
+				sol, err := runAttempt(ctx, attempt, i, opts.Seed+int64(i)*stride, opts.Inject)
 				results <- report[S]{attempt: i, sol: sol, err: err}
 			}
 		}()
@@ -250,6 +311,10 @@ func Run[S any](ctx context.Context, opts Options, d Driver[S]) (Outcome[S], err
 				}
 			} else {
 				out.Stats.Failed++
+				var perr *PanicError
+				if errors.As(rr.err, &perr) {
+					out.Stats.Panicked++
+				}
 			}
 			if d.Observe != nil {
 				d.Observe(frontier, rr.sol, rr.err, improved)

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fpgapart/internal/core"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/netlist"
+	"fpgapart/internal/techmap"
+)
+
+// JobRequest is the submission schema for POST /v1/jobs and the JSON
+// form of POST /v1/partition.
+type JobRequest struct {
+	// ID is an optional client-chosen idempotency key: re-posting a
+	// known ID returns the existing job instead of re-running it.
+	ID string `json:"id,omitempty"`
+	// Circuit is the circuit source text; Format selects the dialect:
+	// "clb" (mapped circuit, default) or "gnl" (gate-level netlist,
+	// technology-mapped before partitioning).
+	Circuit string `json:"circuit"`
+	Format  string `json:"format,omitempty"`
+	// Threshold is the replication threshold T (null = library default;
+	// -1 disables replication). Solutions, Seed and MaxStale mirror the
+	// kpart flags.
+	Threshold *int  `json:"threshold,omitempty"`
+	Solutions int   `json:"solutions,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	MaxStale  int   `json:"max_stale,omitempty"`
+	// TimeoutMS bounds the search wall clock (0 = server default,
+	// capped at the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobStatus is the API view of a job.
+type JobStatus struct {
+	ID        string     `json:"id"`
+	State     string     `json:"state"`
+	Result    *JobResult `json:"result,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	ErrorKind string     `json:"error_kind,omitempty"`
+}
+
+// JobResult is the solution summary, including the degradation
+// contract: Degraded means at least one solution attempt died to a
+// contained panic and the result is the deterministic best of the
+// survivors.
+type JobResult struct {
+	Circuit         string        `json:"circuit"`
+	K               int           `json:"k"`
+	DeviceCost      float64       `json:"device_cost"`
+	AvgCLBUtil      float64       `json:"avg_clb_util"`
+	AvgIOBUtil      float64       `json:"avg_iob_util"`
+	ReplicatedCells int           `json:"replicated_cells"`
+	SourceCells     int           `json:"source_cells"`
+	Feasible        int           `json:"feasible"`
+	Failed          int           `json:"failed"`
+	Stopped         string        `json:"stopped,omitempty"`
+	Degraded        bool          `json:"degraded"`
+	Panicked        int           `json:"panicked,omitempty"`
+	PanickedSeeds   []int64       `json:"panicked_seeds,omitempty"`
+	Parts           []PartSummary `json:"parts"`
+}
+
+// PartSummary describes one part of the solution.
+type PartSummary struct {
+	Device    string `json:"device"`
+	CLBs      int    `json:"clbs"`
+	Terminals int    `json:"terminals"`
+	Cells     int    `json:"cells"`
+	Replicas  int    `json:"replicas"`
+}
+
+func resultJSON(g *hypergraph.Graph, res core.Result) *JobResult {
+	out := &JobResult{
+		Circuit:         g.Name,
+		K:               res.Summary.K(),
+		DeviceCost:      res.Summary.DeviceCost(),
+		AvgCLBUtil:      res.Summary.AvgCLBUtil(),
+		AvgIOBUtil:      res.Summary.AvgIOBUtil(),
+		ReplicatedCells: res.Summary.ReplicatedCells(),
+		SourceCells:     res.SourceCells,
+		Feasible:        res.Feasible,
+		Failed:          res.Failed,
+		Stopped:         res.Stopped,
+		Degraded:        res.Degraded,
+		Panicked:        res.Panicked,
+		PanickedSeeds:   res.PanickedSeeds,
+	}
+	for _, p := range res.Parts {
+		out.Parts = append(out.Parts, PartSummary{
+			Device: p.Device.Name, CLBs: p.Graph.TotalArea(),
+			Terminals: p.Graph.NumTerminals(), Cells: p.Graph.NumCells(), Replicas: p.Replicas,
+		})
+	}
+	return out
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("POST /v1/partition", s.handleSync)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"error_kind,omitempty"`
+}
+
+// parseRequest turns a JobRequest into an admitted job's inputs.
+// Parse failures return a *netlist.ParseError / *hypergraph.ParseError
+// for the 400 path, with line/column context intact.
+func (s *Server) parseRequest(req *JobRequest) (*hypergraph.Graph, core.Options, time.Duration, error) {
+	var g *hypergraph.Graph
+	switch req.Format {
+	case "", "clb":
+		gg, err := hypergraph.ReadLimits(strings.NewReader(req.Circuit), s.cfg.GraphLimits)
+		if err != nil {
+			return nil, core.Options{}, 0, err
+		}
+		g = gg
+	case "gnl":
+		n, err := netlist.ReadLimits(strings.NewReader(req.Circuit), s.cfg.NetLimits)
+		if err != nil {
+			return nil, core.Options{}, 0, err
+		}
+		m, err := techmap.Map(n, techmap.Options{Seed: req.Seed})
+		if err != nil {
+			return nil, core.Options{}, 0, err
+		}
+		g = m.Graph
+	default:
+		return nil, core.Options{}, 0, fmt.Errorf("unknown format %q (want \"clb\" or \"gnl\")", req.Format)
+	}
+	opts := core.Options{
+		Library:   s.cfg.Library,
+		Solutions: req.Solutions,
+		Seed:      req.Seed,
+		MaxStale:  req.MaxStale,
+		Inject:    s.cfg.Inject,
+	}
+	if req.Threshold != nil {
+		opts.Threshold = *req.Threshold
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return g, opts, timeout, nil
+}
+
+// decodeRequest reads the request body into a JobRequest. A JSON body
+// (Content-Type application/json or a body starting with '{') uses the
+// JobRequest schema; anything else is treated as raw circuit text with
+// parameters from the query string — so a CI smoke test can POST a
+// .clb file directly with curl --data-binary.
+func decodeRequest(r *http.Request) (*JobRequest, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	ct := r.Header.Get("Content-Type")
+	isJSON := strings.HasPrefix(ct, "application/json") ||
+		(ct == "" && len(body) > 0 && body[0] == '{')
+	if isJSON {
+		req := new(JobRequest)
+		if err := json.Unmarshal(body, req); err != nil {
+			return nil, fmt.Errorf("invalid JSON body: %w", err)
+		}
+		return req, nil
+	}
+	req := &JobRequest{Circuit: string(body)}
+	q := r.URL.Query()
+	req.ID = q.Get("id")
+	req.Format = q.Get("format")
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", v)
+		}
+		req.Seed = n
+	}
+	for _, p := range []struct {
+		key string
+		dst *int
+	}{{"solutions", &req.Solutions}, {"max_stale", &req.MaxStale}} {
+		if v := q.Get(p.key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s %q", p.key, v)
+			}
+			*p.dst = n
+		}
+	}
+	if v := q.Get("threshold"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad threshold %q", v)
+		}
+		req.Threshold = &n
+	}
+	if v := q.Get("timeout_ms"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad timeout_ms %q", v)
+		}
+		req.TimeoutMS = n
+	}
+	return req, nil
+}
+
+// admissionError writes the non-202 admission outcomes.
+func (s *Server) admissionError(w http.ResponseWriter, status int) {
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, status, apiError{Error: "job queue full, retry later", Kind: "overload"})
+	case http.StatusServiceUnavailable:
+		writeJSON(w, status, apiError{Error: "server is draining", Kind: "draining"})
+	default:
+		writeJSON(w, status, apiError{Error: http.StatusText(status)})
+	}
+}
+
+// parseFailure writes the 400 response for a malformed circuit,
+// keeping the parser's line/column context.
+func parseFailure(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Kind: KindMalformed})
+}
+
+func isParseError(err error) bool {
+	var nperr *netlist.ParseError
+	var hperr *hypergraph.ParseError
+	return errors.As(err, &nperr) || errors.As(err, &hperr)
+}
+
+// handleSubmit admits an asynchronous job: 202 with the job status on
+// admission, 200 when the ID is already known (idempotent retry), 400
+// on malformed input, 429 when the queue is full, 503 when draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Kind: KindMalformed})
+		return
+	}
+	g, opts, timeout, err := s.parseRequest(req)
+	if err != nil {
+		parseFailure(w, err)
+		return
+	}
+	j, status := s.submit(req.ID, g, opts, timeout)
+	if j == nil {
+		s.admissionError(w, status)
+		return
+	}
+	writeJSON(w, status, j.status())
+}
+
+// handleJobGet is the retry-safe result lookup.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleSync admits a job and waits for it, mapping the job's failure
+// kind to an HTTP status. If the client goes away first the job is
+// canceled at its next deterministic checkpoint.
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Kind: KindMalformed})
+		return
+	}
+	g, opts, timeout, err := s.parseRequest(req)
+	if err != nil {
+		parseFailure(w, err)
+		return
+	}
+	j, status := s.submit(req.ID, g, opts, timeout)
+	if j == nil {
+		s.admissionError(w, status)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		j.mu.Lock()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+		<-j.done
+	}
+	st := j.status()
+	if st.State == StateDone {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	writeJSON(w, syncFailureStatus(st.ErrorKind), st)
+}
+
+func syncFailureStatus(kind string) int {
+	switch kind {
+	case KindMalformed:
+		return http.StatusBadRequest
+	case KindInfeasible:
+		return http.StatusUnprocessableEntity
+	case KindTimeout:
+		return http.StatusGatewayTimeout
+	case KindCanceled:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,332 @@
+// Package server exposes the partitioning engine as a fault-isolated
+// HTTP/JSON service. The design goals mirror the engine's own
+// robustness contract:
+//
+//   - Bounded admission: a fixed worker pool drains a bounded job
+//     queue; a full queue sheds load with 429 + Retry-After instead of
+//     queueing without bound.
+//   - Idempotent jobs: clients may supply their own job ID; re-posting
+//     the same ID returns the existing job's status (retry-safe result
+//     lookup) instead of re-running the search.
+//   - Deadline propagation: each job runs under a context derived from
+//     the server's base context plus the request's timeout, so both
+//     client budgets and server drains cut the search at its
+//     deterministic carve boundaries.
+//   - Graceful degradation: a contained worker panic degrades the
+//     job's result (Degraded flag, surviving attempts folded) rather
+//     than failing the request; parse errors are rejected at admission
+//     with line/column context before any search work is queued.
+//   - Graceful shutdown: Shutdown stops admission, drains queued and
+//     in-flight jobs, and only cancels the base context when the drain
+//     deadline expires.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpgapart/internal/core"
+	"fpgapart/internal/faultinject"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/kway"
+	"fpgapart/internal/library"
+	"fpgapart/internal/netlist"
+	"fpgapart/internal/search"
+)
+
+// Config sizes the service. The zero value selects conservative
+// defaults suitable for tests and small deployments.
+type Config struct {
+	// Workers is the number of concurrent partition jobs (default 2).
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-running jobs
+	// (default 8). A full queue rejects submissions with 429.
+	QueueDepth int
+	// DefaultTimeout is the per-job search budget when the request does
+	// not set one (default 30s). MaxTimeout caps client-requested
+	// budgets (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Library is the device library jobs partition into (default
+	// library.XC3000()).
+	Library library.Library
+	// GraphLimits / NetLimits cap parser resource usage for request
+	// bodies (zero values select the parsers' defaults).
+	GraphLimits hypergraph.Limits
+	NetLimits   netlist.Limits
+	// Inject arms deterministic fault injection in every job's engine
+	// (testing only; leave nil in production).
+	Inject *faultinject.Plan
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 8
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if len(c.Library.Devices) == 0 {
+		c.Library = library.XC3000()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Job states as reported by the API.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Error kinds classify job failures for clients.
+const (
+	KindMalformed  = "malformed"  // parse error or parser limit
+	KindInfeasible = "infeasible" // attempt budget ran without a feasible solution
+	KindTimeout    = "timeout"    // search budget expired first
+	KindCanceled   = "canceled"   // shutdown or client cancellation
+	KindInternal   = "internal"
+)
+
+type job struct {
+	id      string
+	graph   *hypergraph.Graph
+	opts    core.Options
+	timeout time.Duration
+	cancel  context.CancelFunc // set while running; cuts the search
+
+	mu      sync.Mutex
+	state   string
+	result  *JobResult
+	errMsg  string
+	errKind string
+	done    chan struct{}
+}
+
+func (j *job) setState(s string) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// status snapshots the job for the API.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{ID: j.id, State: j.state, Result: j.result, Error: j.errMsg, ErrorKind: j.errKind}
+}
+
+// Server is the HTTP handler plus the worker pool behind it.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// admit guards the draining flag and queue channel: submissions
+	// take the read side, Shutdown takes the write side to flip
+	// draining and close the queue with no sender in flight.
+	admit    sync.RWMutex
+	draining bool
+	queue    chan *job
+
+	jobsMu sync.Mutex
+	jobs   map[string]*job
+	jobSeq atomic.Int64
+
+	workers sync.WaitGroup
+}
+
+// New builds the service and starts its worker pool. Callers serve it
+// with net/http and stop it with Shutdown.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+	}
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Ready reports whether the server is accepting new jobs.
+func (s *Server) Ready() bool {
+	s.admit.RLock()
+	defer s.admit.RUnlock()
+	return !s.draining
+}
+
+// submit registers and enqueues a job. It returns the job and an HTTP
+// status: 202 accepted, 200 for an idempotent replay of a known ID,
+// 429 when the queue is full, 503 when draining.
+func (s *Server) submit(id string, g *hypergraph.Graph, opts core.Options, timeout time.Duration) (*job, int) {
+	s.jobsMu.Lock()
+	if id != "" {
+		if old, ok := s.jobs[id]; ok {
+			s.jobsMu.Unlock()
+			return old, http.StatusOK
+		}
+	} else {
+		id = fmt.Sprintf("job-%d", s.jobSeq.Add(1))
+	}
+	j := &job{id: id, graph: g, opts: opts, timeout: timeout, state: StateQueued, done: make(chan struct{})}
+	s.jobs[id] = j
+	s.jobsMu.Unlock()
+
+	s.admit.RLock()
+	if s.draining {
+		s.admit.RUnlock()
+		s.dropJob(id)
+		return nil, http.StatusServiceUnavailable
+	}
+	select {
+	case s.queue <- j:
+		s.admit.RUnlock()
+		return j, http.StatusAccepted
+	default:
+		s.admit.RUnlock()
+		s.dropJob(id)
+		return nil, http.StatusTooManyRequests
+	}
+}
+
+// dropJob forgets a job that was never admitted, so a client retry
+// after 429/503 is not confused by a phantom entry.
+func (s *Server) dropJob(id string) {
+	s.jobsMu.Lock()
+	delete(s.jobs, id)
+	s.jobsMu.Unlock()
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	defer close(j.done)
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
+	defer cancel()
+	j.mu.Lock()
+	j.state = StateRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	res, err := core.PartitionContext(ctx, j.graph, j.opts)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.errKind = classify(err)
+		s.cfg.Logf("server: job %s failed (%s): %v", j.id, j.errKind, err)
+		return
+	}
+	j.state = StateDone
+	j.result = resultJSON(j.graph, res)
+	if res.Degraded {
+		s.cfg.Logf("server: job %s done DEGRADED: %d attempt(s) panicked (seeds %v)", j.id, res.Panicked, res.PanickedSeeds)
+	}
+}
+
+// classify maps an engine failure to an API error kind, mirroring the
+// CLI's exit-code mapping (budget first: a timeout with no feasible
+// solution wraps both error types).
+func classify(err error) string {
+	var budget *search.ErrBudget
+	if errors.As(err, &budget) {
+		if errors.Is(budget.Cause, context.Canceled) {
+			return KindCanceled
+		}
+		return KindTimeout
+	}
+	var inf *kway.InfeasibleError
+	if errors.As(err, &inf) {
+		return KindInfeasible
+	}
+	var nperr *netlist.ParseError
+	var hperr *hypergraph.ParseError
+	if errors.As(err, &nperr) || errors.As(err, &hperr) {
+		return KindMalformed
+	}
+	if errors.Is(err, context.Canceled) {
+		return KindCanceled
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return KindTimeout
+	}
+	return KindInternal
+}
+
+// Shutdown drains the service: admission stops immediately (new
+// submissions get 503, Ready flips false), queued and running jobs run
+// to completion, and the worker pool exits. If ctx expires first the
+// base context is canceled — cutting in-flight searches at their
+// deterministic carve boundaries — and Shutdown waits for the workers
+// to observe it before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admit.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.admit.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

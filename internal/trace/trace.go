@@ -82,6 +82,10 @@ type Event struct {
 	Cost     float64
 	Parts    int
 	Improved bool
+	// Panic marks a failed solution attempt that died to a contained
+	// worker panic (Reason carries the panic message); the run is
+	// degraded but alive.
+	Panic bool
 }
 
 // Sink receives events. Implementations must be safe for concurrent
@@ -107,8 +111,9 @@ type Counters struct {
 	// Replicas and Rollbacks total the replication-state work reported
 	// by accepted and rejected carves.
 	Replicas, Rollbacks int64
-	// Solutions and Feasible count folded solution attempts.
-	Solutions, Feasible int64
+	// Solutions and Feasible count folded solution attempts; Panics
+	// counts the folded attempts that died to a contained panic.
+	Solutions, Feasible, Panics int64
 }
 
 // Agg is a Sink that aggregates events into Counters with atomic
@@ -116,7 +121,7 @@ type Counters struct {
 type Agg struct {
 	moves, passes, carves, rejected int64
 	replicas, rollbacks             int64
-	solutions, feasible             int64
+	solutions, feasible, panics     int64
 }
 
 // Event implements Sink.
@@ -138,6 +143,9 @@ func (a *Agg) Event(e Event) {
 		if e.Feasible {
 			atomic.AddInt64(&a.feasible, 1)
 		}
+		if e.Panic {
+			atomic.AddInt64(&a.panics, 1)
+		}
 	}
 }
 
@@ -152,6 +160,7 @@ func (a *Agg) Snapshot() Counters {
 		Rollbacks:      atomic.LoadInt64(&a.rollbacks),
 		Solutions:      atomic.LoadInt64(&a.solutions),
 		Feasible:       atomic.LoadInt64(&a.feasible),
+		Panics:         atomic.LoadInt64(&a.panics),
 	}
 }
 
@@ -209,8 +218,13 @@ func (j *JSONL) Event(e Event) {
 			b = appendIntField(b, "parts", e.Parts)
 			b = append(b, `,"improved":`...)
 			b = strconv.AppendBool(b, e.Improved)
-		} else if e.Reason != "" {
-			b = appendStringField(b, "reason", e.Reason)
+		} else {
+			if e.Panic {
+				b = append(b, `,"panic":true`...)
+			}
+			if e.Reason != "" {
+				b = appendStringField(b, "reason", e.Reason)
+			}
 		}
 	}
 	b = append(b, '}', '\n')
