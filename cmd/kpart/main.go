@@ -36,6 +36,7 @@ import (
 	"fpgapart/internal/report"
 	"fpgapart/internal/search"
 	"fpgapart/internal/techmap"
+	"fpgapart/internal/telemetry"
 	"fpgapart/internal/trace"
 )
 
@@ -52,6 +53,7 @@ func main() {
 	maxStale := flag.Int("max-stale", 0, "stop after this many consecutive non-improving solutions (0 = run all)")
 	progress := flag.Bool("progress", false, "print per-solution progress and search statistics to stderr")
 	statsJSON := flag.String("stats-json", "", "stream structured engine events (FM passes, carves, solutions) as JSONL to this file")
+	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (Prometheus text format 0.0.4) to this file")
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: kpart [flags] <circuit.clb|circuit.gnl>")
@@ -87,8 +89,9 @@ exit codes:
 		jsonOut:   *jsonOut,
 		timeout:   *timeout,
 		maxStale:  *maxStale,
-		progress:  *progress,
-		statsJSON: *statsJSON,
+		progress:   *progress,
+		statsJSON:  *statsJSON,
+		metricsOut: *metricsOut,
 	})
 	if perr := stopProf(); err == nil {
 		err = perr
@@ -129,10 +132,11 @@ type runConfig struct {
 	check     bool
 	outDir    string
 	jsonOut   bool
-	timeout   time.Duration
-	maxStale  int
-	progress  bool
-	statsJSON string
+	timeout    time.Duration
+	maxStale   int
+	progress   bool
+	statsJSON  string
+	metricsOut string
 }
 
 // progressSink prints one stderr line per folded solution attempt.
@@ -156,6 +160,7 @@ func (p progressSink) Event(e trace.Event) {
 }
 
 func run(cfg runConfig) error {
+	parseStart := time.Now()
 	f, err := os.Open(cfg.path)
 	if err != nil {
 		return err
@@ -190,16 +195,25 @@ func run(cfg runConfig) error {
 		sinks = append(sinks, progressSink{total: cfg.solutions}, agg)
 	}
 	var jsonl *trace.JSONL
+	var jsonlFile *os.File
 	if cfg.statsJSON != "" {
-		jf, err := os.Create(cfg.statsJSON)
+		jsonlFile, err = os.Create(cfg.statsJSON)
 		if err != nil {
 			return err
 		}
-		defer jf.Close()
-		jsonl = trace.NewJSONL(jf)
+		jsonl = trace.NewJSONL(jsonlFile)
 		sinks = append(sinks, jsonl)
 	}
+	var reg *telemetry.Registry
+	if cfg.metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		sinks = append(sinks, telemetry.NewBridge(reg))
+	}
 
+	sink := trace.Multi(sinks...)
+	if sink != nil {
+		sink.Event(trace.Event{Kind: trace.KindPhase, Attempt: -1, Phase: trace.PhaseParse, Dur: time.Since(parseStart)})
+	}
 	res, err := core.Partition(g, core.Options{
 		Threshold: cfg.threshold,
 		Solutions: cfg.solutions,
@@ -207,7 +221,7 @@ func run(cfg runConfig) error {
 		Verify:    cfg.check,
 		Timeout:   cfg.timeout,
 		MaxStale:  cfg.maxStale,
-		Trace:     trace.Multi(sinks...),
+		Trace:     sink,
 	})
 	if agg != nil {
 		c := agg.Snapshot()
@@ -215,8 +229,22 @@ func run(cfg runConfig) error {
 			c.Passes, c.Moves, c.Carves, c.RejectedCarves, c.Replicas, c.Rollbacks)
 	}
 	if jsonl != nil {
-		if jerr := jsonl.Err(); jerr != nil && err == nil {
-			err = fmt.Errorf("writing %s: %w", cfg.statsJSON, jerr)
+		// The stats stream is a deliverable: a sink write error — from
+		// any event append or from the final close — must fail the run
+		// with a non-zero exit, not leave a silently truncated file.
+		jerr := jsonl.Err()
+		if cerr := jsonlFile.Close(); jerr == nil {
+			jerr = cerr
+		}
+		if jerr != nil && err == nil {
+			err = fmt.Errorf("stats stream %s: %w", cfg.statsJSON, jerr)
+		}
+	}
+	if reg != nil {
+		// The snapshot is written even when the search failed: the
+		// counters up to the failure are exactly what an operator wants.
+		if merr := writeMetrics(cfg.metricsOut, reg); merr != nil && err == nil {
+			err = merr
 		}
 	}
 	if err != nil {
@@ -258,6 +286,22 @@ func run(cfg runConfig) error {
 			return err
 		}
 		fmt.Printf("wrote %d part netlists to %s\n", len(res.Parts), cfg.outDir)
+	}
+	return nil
+}
+
+// writeMetrics snapshots the registry as Prometheus text exposition.
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics snapshot %s: %w", path, err)
+	}
+	err = reg.WriteText(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("metrics snapshot %s: %w", path, err)
 	}
 	return nil
 }

@@ -139,6 +139,60 @@ func TestRunStatsJSONAndTimeout(t *testing.T) {
 	}
 }
 
+// -metrics-out must leave a Prometheus text snapshot of the engine
+// counters and phase timings next to the normal output.
+func TestRunMetricsOut(t *testing.T) {
+	path := writeCLB(t)
+	metrics := filepath.Join(t.TempDir(), "metrics.prom")
+	out, err := capture(t, func() error {
+		return run(runConfig{path: path, threshold: 1, solutions: 3, seed: 1, metricsOut: metrics})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "partition: k=") {
+		t.Fatalf("missing partition line:\n%s", out)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := string(data)
+	for _, want := range []string{
+		"# TYPE fpgapart_carve_accepted_total counter",
+		"# TYPE fpgapart_phase_seconds histogram",
+		`fpgapart_phase_seconds_count{phase="parse"} 1`,
+		`fpgapart_phase_seconds_count{phase="search"} 1`,
+		"fpgapart_solutions_total",
+	} {
+		if !contains(snap, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+// A stats-stream write failure must fail the run with a clear message
+// (and thus a non-zero exit), never leave a silently truncated file.
+// /dev/full accepts the open and fails every write with ENOSPC.
+func TestRunStatsJSONWriteError(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	path := writeCLB(t)
+	_, err := capture(t, func() error {
+		return run(runConfig{path: path, threshold: 1, solutions: 2, seed: 1, statsJSON: "/dev/full"})
+	})
+	if err == nil {
+		t.Fatal("expected error from failing stats stream")
+	}
+	if !strings.Contains(err.Error(), "stats stream /dev/full") {
+		t.Fatalf("error should name the stats stream: %v", err)
+	}
+	if got := exitCode(err); got != 1 {
+		t.Fatalf("exit code %d, want 1", got)
+	}
+}
+
 func TestExitCodes(t *testing.T) {
 	if got := exitCode(errors.New("boom")); got != 1 {
 		t.Fatalf("generic error -> %d, want 1", got)

@@ -6,17 +6,27 @@
 //
 //	kpartd [-addr :8080] [-workers 2] [-queue 8] [-default-timeout 30s]
 //	       [-max-timeout 5m] [-drain-timeout 30s] [-inject spec]
+//	       [-pprof] [-log-json]
 //
 // Endpoints:
 //
-//	POST /v1/jobs       submit an asynchronous job (202; 200 on an
-//	                    idempotent replay; 429 + Retry-After when the
-//	                    queue is full; 503 while draining)
-//	GET  /v1/jobs/{id}  retry-safe job status and result lookup
-//	POST /v1/partition  synchronous partition (JSON body, or a raw .clb
-//	                    body with parameters in the query string)
-//	GET  /healthz       liveness (always 200 while the process serves)
-//	GET  /readyz        readiness (503 once draining starts)
+//	POST /v1/jobs          submit an asynchronous job (202; 200 on an
+//	                       idempotent replay; 429 + Retry-After when the
+//	                       queue is full; 503 while draining)
+//	GET  /v1/jobs/{id}     retry-safe job status and result lookup
+//	POST /v1/partition     synchronous partition (JSON body, or a raw
+//	                       .clb body with parameters in the query string)
+//	GET  /healthz          liveness (always 200 while the process serves)
+//	GET  /readyz           readiness: JSON {ready, draining, queue_depth},
+//	                       503 once draining starts
+//	GET  /metrics          Prometheus text exposition (engine + HTTP)
+//	GET  /debug/buildinfo  module and VCS metadata of the binary
+//	GET  /debug/pprof/*    runtime profiles (only with -pprof)
+//
+// Logs are structured (log/slog): every request carries an
+// X-Request-Id, and job lifecycle records join the job ID back to the
+// submitting request's ID. -log-json switches from logfmt-style text
+// to one JSON object per line.
 //
 // On SIGTERM/SIGINT the daemon stops admission, drains queued and
 // in-flight jobs, and exits; jobs still running when -drain-timeout
@@ -28,7 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,17 +57,25 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested search budgets")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before cutting them")
 	inject := flag.String("inject", "", "deterministic fault plan, e.g. 'panic@attempt=2' (testing only)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator-only surface)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON objects instead of text")
 	flag.Parse()
 
-	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
-	log.SetPrefix("kpartd: ")
+	var h slog.Handler
+	if *logJSON {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(h).With("component", "kpartd")
 
 	plan, err := faultinject.Parse(*inject)
 	if err != nil {
-		log.Fatalf("bad -inject: %v", err)
+		logger.Error("bad -inject", "err", err)
+		os.Exit(2)
 	}
 	if plan != nil {
-		log.Printf("fault injection ARMED: %v (testing only)", plan.Rules())
+		logger.Warn("fault injection ARMED (testing only)", "rules", fmt.Sprint(plan.Rules()))
 	}
 
 	srv := server.New(server.Config{
@@ -66,7 +84,8 @@ func main() {
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		Inject:         plan,
-		Logf:           log.Printf,
+		Logger:         logger,
+		EnablePprof:    *pprofOn,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
@@ -75,15 +94,16 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "pprof", *pprofOn)
 
 	select {
 	case err := <-serveErr:
-		log.Fatalf("serve: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("signal received, draining (timeout %s)", *drain)
+	logger.Info("signal received, draining", "timeout", *drain)
 
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -93,12 +113,11 @@ func main() {
 	drainErr := make(chan error, 1)
 	go func() { drainErr <- srv.Shutdown(dctx) }()
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := <-drainErr; err != nil {
-		log.Printf("drain cut short: %v", err)
-		fmt.Fprintln(os.Stderr, "kpartd: drain timeout expired; in-flight jobs were canceled")
+		logger.Error("drain cut short; in-flight jobs were canceled", "err", err)
 		os.Exit(1)
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }

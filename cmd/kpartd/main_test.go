@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"syscall"
 	"testing"
@@ -15,6 +16,24 @@ import (
 	"fpgapart/internal/bench"
 	"fpgapart/internal/hypergraph"
 )
+
+// getBody fetches url and returns the body, failing on a non-200.
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
 
 // TestDaemonLifecycle is the black-box smoke: build the daemon, start
 // it, partition a circuit over HTTP, then SIGTERM it and require a
@@ -36,7 +55,7 @@ func TestDaemonLifecycle(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close()
 
-	cmd := exec.Command(bin, "-addr", addr, "-workers", "1", "-queue", "2", "-drain-timeout", "4s")
+	cmd := exec.Command(bin, "-addr", addr, "-workers", "1", "-queue", "2", "-drain-timeout", "4s", "-pprof", "-log-json")
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
@@ -46,7 +65,9 @@ func TestDaemonLifecycle(t *testing.T) {
 	base := "http://" + addr
 	waitUp(t, base)
 
-	g, err := bench.Generate(bench.Params{Cells: 120, PrimaryIn: 10, PrimaryOut: 6, Seed: 1, Clustering: 0.5})
+	// 400 cells overflow the largest library device, so the job
+	// exercises the carve loop and its metrics.
+	g, err := bench.Generate(bench.Params{Cells: 400, PrimaryIn: 10, PrimaryOut: 6, Seed: 1, Clustering: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,6 +86,31 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(string(body), `"device_cost"`) {
 		t.Fatalf("missing result fields:\n%s", body)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("partition response missing X-Request-Id")
+	}
+
+	// The acceptance scrape: after the completed job, /metrics must show
+	// a non-zero request-latency count, the carve counters the job fed
+	// through the engine bridge, and the queue-depth gauge.
+	metrics := getBody(t, base+"/metrics")
+	if !regexp.MustCompile(`fpgapart_http_request_duration_seconds_count\{endpoint="/v1/partition"\} [1-9]`).MatchString(metrics) {
+		t.Fatalf("no request latency observations:\n%s", metrics)
+	}
+	if !regexp.MustCompile(`fpgapart_carve_accepted_total [1-9]`).MatchString(metrics) {
+		t.Fatalf("no carve counter samples:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "fpgapart_queue_depth ") {
+		t.Fatalf("missing queue depth gauge:\n%s", metrics)
+	}
+
+	// -pprof mounted the profiling surface; buildinfo is always on.
+	if out := getBody(t, base+"/debug/pprof/cmdline"); out == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+	if out := getBody(t, base+"/debug/buildinfo"); !strings.Contains(out, "fpgapart") {
+		t.Fatalf("buildinfo missing module path:\n%s", out)
 	}
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {

@@ -73,7 +73,12 @@ type Options struct {
 	// into workers are contained per attempt and surface as
 	// Result.Degraded. Testing only; leave nil in production.
 	Inject *faultinject.Plan
-	Seed   int64
+	// Now supplies the wall clock for phase-timing trace events (nil
+	// selects time.Now). Clock readings feed only Trace, never search
+	// decisions, so fixed-seed results are byte-identical with or
+	// without telemetry.
+	Now  func() time.Time
+	Seed int64
 }
 
 func (o Options) fill() Options {
@@ -115,6 +120,7 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		MaxStale:  opts.MaxStale,
 		Trace:     opts.Trace,
 		Inject:    opts.Inject,
+		Now:       opts.Now,
 		Seed:      opts.Seed,
 	}
 	res, err := kway.PartitionContext(ctx, g, kopts)

@@ -5,6 +5,7 @@ import (
 
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/replication"
+	"fpgapart/internal/telemetry"
 	"fpgapart/internal/trace"
 )
 
@@ -27,6 +28,10 @@ func TestFMPassAllocs(t *testing.T) {
 		{"replication-only", 0, true, nil},
 		{"plain-traced", NoReplication, false, &trace.Agg{}},
 		{"replication-traced", 0, false, &trace.Agg{}},
+		// The telemetry bridge (histograms + counters) must be as
+		// allocation-free on the pass loop as the aggregating sink.
+		{"bridge-traced", NoReplication, false, telemetry.NewBridge(telemetry.NewRegistry())},
+		{"bridge-replication", 0, false, telemetry.NewBridge(telemetry.NewRegistry())},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			g := testGraph(t, 300, 5, 0.5)

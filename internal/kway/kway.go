@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"fpgapart/internal/faultinject"
 	"fpgapart/internal/fm"
@@ -75,7 +76,14 @@ type Options struct {
 	// Testing only; nil in production costs one predicted branch per
 	// checkpoint.
 	Inject *faultinject.Plan
-	Seed   int64
+	// Now supplies the wall clock for phase-timing trace events
+	// (trace.KindPhase: search, fold, verify). Nil selects time.Now.
+	// The clock is explicit so tests can fake it; clock readings feed
+	// only the trace stream, never search decisions, so fixed-seed
+	// results are byte-identical with or without phase tracing — and
+	// no clock is read at all when Trace is nil.
+	Now  func() time.Time
+	Seed int64
 }
 
 // VerificationError reports an in-loop invariant violation detected by
@@ -228,6 +236,16 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		firstErr                  error
 		panickedSeeds             []int64
 	)
+	// now is read only when a trace sink is armed; phase durations
+	// feed the sink and nothing else, preserving the byte-identical
+	// fixed-seed contract (see TestTelemetryDoesNotPerturbSearch).
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	emitPhase := func(attempt int, phase string, start time.Time) {
+		opts.Trace.Event(trace.Event{Kind: trace.KindPhase, Attempt: attempt, Phase: phase, Dur: now().Sub(start)})
+	}
 	drv := search.Driver[Result]{
 		NewAttempt: func() search.AttemptFunc[Result] {
 			// Per-worker scratch: the FM runner's gain buckets, the
@@ -251,11 +269,25 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 				if err != nil {
 					return Result{}, err
 				}
+				var foldStart time.Time
+				if opts.Trace != nil {
+					foldStart = now()
+				}
 				remapDevices(parts, opts.Library)
 				res := assemble(g, parts)
+				if opts.Trace != nil {
+					emitPhase(attempt, trace.PhaseFold, foldStart)
+				}
 				if opts.Verify {
+					var verifyStart time.Time
+					if opts.Trace != nil {
+						verifyStart = now()
+					}
 					if verr := res.Verify(g); verr != nil {
 						return Result{}, &VerificationError{Stage: "solution", Err: verr}
+					}
+					if opts.Trace != nil {
+						emitPhase(attempt, trace.PhaseVerify, verifyStart)
 					}
 				}
 				return res, nil
@@ -302,6 +334,10 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 			}
 		},
 	}
+	var searchStart time.Time
+	if opts.Trace != nil {
+		searchStart = now()
+	}
 	out, serr := search.Run(ctx, search.Options{
 		Attempts:   opts.Solutions,
 		Seed:       opts.Seed,
@@ -309,6 +345,9 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		MaxStale:   opts.MaxStale,
 		Inject:     opts.Inject,
 	}, drv)
+	if opts.Trace != nil {
+		emitPhase(-1, trace.PhaseSearch, searchStart)
+	}
 	var budget *search.ErrBudget
 	if serr != nil {
 		var ae *search.AttemptError

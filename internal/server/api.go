@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/techmap"
+	"fpgapart/internal/trace"
 )
 
 // JobRequest is the submission schema for POST /v1/jobs and the JSON
@@ -104,21 +107,63 @@ func resultJSON(g *hypergraph.Graph, res core.Result) *JobResult {
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("POST /v1/partition", s.handleSync)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	s.mux.HandleFunc("POST /v1/partition", s.instrument("/v1/partition", s.handleSync))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
-	})
-	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if !s.Ready() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ready\n")
-	})
+	}))
+	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/buildinfo", s.instrument("/debug/buildinfo", handleBuildInfo))
+	if s.cfg.EnablePprof {
+		// pprof handlers stay uninstrumented: profile endpoints block for
+		// their sampling window and would dominate the latency histogram.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// readyzStatus is the JSON body of GET /readyz: load balancers key on
+// the status code, operators read the queue depth from the body.
+type readyzStatus struct {
+	Ready      bool `json:"ready"`
+	Draining   bool `json:"draining"`
+	QueueDepth int  `json:"queue_depth"`
+}
+
+// handleReadyz reports readiness: 200 while accepting jobs, 503 during
+// drain, always with the current queue depth in the body.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := s.Ready()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, readyzStatus{Ready: ready, Draining: !ready, QueueDepth: len(s.queue)})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format 0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Metrics.WriteText(w)
+}
+
+// handleBuildInfo dumps the module and VCS metadata baked into the
+// binary, so an operator can tie a running instance to a commit.
+func handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		http.Error(w, "no build info", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, info.String())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -136,6 +181,13 @@ type apiError struct {
 // Parse failures return a *netlist.ParseError / *hypergraph.ParseError
 // for the 400 path, with line/column context intact.
 func (s *Server) parseRequest(req *JobRequest) (*hypergraph.Graph, core.Options, time.Duration, error) {
+	parseStart := s.clock.Now()
+	defer func() {
+		s.met.bridge.Event(trace.Event{
+			Kind: trace.KindPhase, Attempt: -1,
+			Phase: trace.PhaseParse, Dur: s.clock.Now().Sub(parseStart),
+		})
+	}()
 	var g *hypergraph.Graph
 	switch req.Format {
 	case "", "clb":
@@ -276,7 +328,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		parseFailure(w, err)
 		return
 	}
-	j, status := s.submit(req.ID, g, opts, timeout)
+	j, status := s.submit(requestID(r.Context()), req.ID, g, opts, timeout)
 	if j == nil {
 		s.admissionError(w, status)
 		return
@@ -308,7 +360,7 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 		parseFailure(w, err)
 		return
 	}
-	j, status := s.submit(req.ID, g, opts, timeout)
+	j, status := s.submit(requestID(r.Context()), req.ID, g, opts, timeout)
 	if j == nil {
 		s.admissionError(w, status)
 		return

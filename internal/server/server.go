@@ -25,6 +25,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -37,6 +39,7 @@ import (
 	"fpgapart/internal/library"
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/search"
+	"fpgapart/internal/telemetry"
 )
 
 // Config sizes the service. The zero value selects conservative
@@ -64,8 +67,22 @@ type Config struct {
 	// Inject arms deterministic fault injection in every job's engine
 	// (testing only; leave nil in production).
 	Inject *faultinject.Plan
-	// Logf receives operational log lines (nil discards them).
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs: request admission
+	// and job lifecycle events, each carrying the job ID and the
+	// request ID of the submission that created it (nil discards).
+	Logger *slog.Logger
+	// Metrics is the registry the server instruments itself into and
+	// serves on GET /metrics (nil creates a private registry). Every
+	// job's engine trace also feeds it through a telemetry.Bridge.
+	Metrics *telemetry.Registry
+	// Clock supplies wall-clock readings for request latency, phase
+	// timing and job durations (nil selects the system clock). The
+	// clock feeds only observability — never search decisions — so
+	// fixed-seed job results are byte-identical under a fake clock.
+	Clock telemetry.Clock
+	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/.
+	// Off by default: profiling endpoints are operator-only surface.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -87,8 +104,14 @@ func (c Config) withDefaults() Config {
 	if len(c.Library.Devices) == 0 {
 		c.Library = library.XC3000()
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	if c.Clock == nil {
+		c.Clock = telemetry.SystemClock()
 	}
 	return c
 }
@@ -112,6 +135,7 @@ const (
 
 type job struct {
 	id      string
+	reqID   string // request ID of the submission that created the job
 	graph   *hypergraph.Graph
 	opts    core.Options
 	timeout time.Duration
@@ -140,8 +164,13 @@ func (j *job) status() JobStatus {
 
 // Server is the HTTP handler plus the worker pool behind it.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg   Config
+	mux   *http.ServeMux
+	log   *slog.Logger
+	clock telemetry.Clock
+	met   *metricsBundle
+
+	reqSeq atomic.Int64
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -168,11 +197,14 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		mux:        http.NewServeMux(),
+		log:        cfg.Logger,
+		clock:      cfg.Clock,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
 	}
+	s.met = newMetricsBundle(cfg.Metrics, cfg.Workers, func() float64 { return float64(len(s.queue)) })
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -192,18 +224,21 @@ func (s *Server) Ready() bool {
 
 // submit registers and enqueues a job. It returns the job and an HTTP
 // status: 202 accepted, 200 for an idempotent replay of a known ID,
-// 429 when the queue is full, 503 when draining.
-func (s *Server) submit(id string, g *hypergraph.Graph, opts core.Options, timeout time.Duration) (*job, int) {
+// 429 when the queue is full, 503 when draining. reqID is the
+// submitting request's ID; it is stored on the job so lifecycle logs
+// can be joined back to the request.
+func (s *Server) submit(reqID, id string, g *hypergraph.Graph, opts core.Options, timeout time.Duration) (*job, int) {
 	s.jobsMu.Lock()
 	if id != "" {
 		if old, ok := s.jobs[id]; ok {
 			s.jobsMu.Unlock()
+			s.log.Info("job replay", "job", id, "request_id", reqID)
 			return old, http.StatusOK
 		}
 	} else {
 		id = fmt.Sprintf("job-%d", s.jobSeq.Add(1))
 	}
-	j := &job{id: id, graph: g, opts: opts, timeout: timeout, state: StateQueued, done: make(chan struct{})}
+	j := &job{id: id, reqID: reqID, graph: g, opts: opts, timeout: timeout, state: StateQueued, done: make(chan struct{})}
 	s.jobs[id] = j
 	s.jobsMu.Unlock()
 
@@ -211,15 +246,20 @@ func (s *Server) submit(id string, g *hypergraph.Graph, opts core.Options, timeo
 	if s.draining {
 		s.admit.RUnlock()
 		s.dropJob(id)
+		s.met.shedDraining.Inc()
+		s.log.Warn("job rejected", "job", id, "request_id", reqID, "reason", "draining")
 		return nil, http.StatusServiceUnavailable
 	}
 	select {
 	case s.queue <- j:
 		s.admit.RUnlock()
+		s.log.Info("job queued", "job", id, "request_id", reqID, "cells", g.NumCells(), "timeout", timeout)
 		return j, http.StatusAccepted
 	default:
 		s.admit.RUnlock()
 		s.dropJob(id)
+		s.met.shedQueueFull.Inc()
+		s.log.Warn("job rejected", "job", id, "request_id", reqID, "reason", "queue-full")
 		return nil, http.StatusTooManyRequests
 	}
 }
@@ -248,6 +288,10 @@ func (s *Server) worker() {
 
 func (s *Server) runJob(j *job) {
 	defer close(j.done)
+	s.met.jobsInflight.Add(1)
+	s.met.workersBusy.Add(1)
+	defer s.met.jobsInflight.Add(-1)
+	defer s.met.workersBusy.Add(-1)
 	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
 	defer cancel()
 	j.mu.Lock()
@@ -255,7 +299,17 @@ func (s *Server) runJob(j *job) {
 	j.cancel = cancel
 	j.mu.Unlock()
 
+	// Every job's engine trace feeds the server's metrics registry; the
+	// injected clock times its phases. Neither perturbs the search.
+	if j.opts.Trace == nil {
+		j.opts.Trace = s.met.bridge
+	}
+	if j.opts.Now == nil {
+		j.opts.Now = s.clock.Now
+	}
+	start := s.clock.Now()
 	res, err := core.PartitionContext(ctx, j.graph, j.opts)
+	elapsed := s.clock.Now().Sub(start)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.cancel = nil
@@ -263,14 +317,21 @@ func (s *Server) runJob(j *job) {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		j.errKind = classify(err)
-		s.cfg.Logf("server: job %s failed (%s): %v", j.id, j.errKind, err)
+		s.met.observeJobFailure(j.errKind)
+		s.log.Warn("job failed", "job", j.id, "request_id", j.reqID, "kind", j.errKind, "elapsed", elapsed, "err", err)
 		return
 	}
 	j.state = StateDone
 	j.result = resultJSON(j.graph, res)
+	s.met.jobsDone.Inc()
 	if res.Degraded {
-		s.cfg.Logf("server: job %s done DEGRADED: %d attempt(s) panicked (seeds %v)", j.id, res.Panicked, res.PanickedSeeds)
+		s.met.degraded.Inc()
+		s.log.Warn("job done degraded", "job", j.id, "request_id", j.reqID, "elapsed", elapsed,
+			"panicked", res.Panicked, "seeds", fmt.Sprint(res.PanickedSeeds))
+		return
 	}
+	s.log.Info("job done", "job", j.id, "request_id", j.reqID, "elapsed", elapsed,
+		"parts", len(res.Parts), "cost", res.Summary.DeviceCost())
 }
 
 // classify maps an engine failure to an API error kind, mirroring the

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fpgapart/internal/trace"
+)
+
+func TestBridgeMapsEvents(t *testing.T) {
+	r := NewRegistry()
+	b := NewBridge(r)
+	events := []trace.Event{
+		{Kind: trace.KindFMPass, Pass: 1, Moves: 40, Cut: 12},
+		{Kind: trace.KindFMPass, Pass: 2, Moves: 10, Cut: 7},
+		{Kind: trace.KindCarveAccepted, Replicas: 3, Rollbacks: 5, Device: "XC3042"},
+		{Kind: trace.KindCarveRejected, Reason: "terminals", Rollbacks: 2},
+		{Kind: trace.KindCarveRejected, Reason: "no-device"},
+		{Kind: trace.KindCarveRejected, Reason: "never-heard-of-it"},
+		{Kind: trace.KindSolution, Feasible: true, Improved: true, Cost: 756},
+		{Kind: trace.KindSolution, Feasible: false, Panic: true},
+		{Kind: trace.KindPhase, Phase: trace.PhaseSearch, Dur: 250 * time.Millisecond},
+		{Kind: trace.KindPhase, Phase: "mystery", Dur: time.Millisecond},
+	}
+	for _, e := range events {
+		b.Event(e)
+	}
+	if got := b.fmPasses.Value(); got != 2 {
+		t.Fatalf("fm passes %d", got)
+	}
+	if got := b.fmMoves.Value(); got != 50 {
+		t.Fatalf("fm moves %d", got)
+	}
+	if got := b.cutAfterPass.Count(); got != 2 {
+		t.Fatalf("cut histogram count %d", got)
+	}
+	if got := b.carveAccepted.Value(); got != 1 {
+		t.Fatalf("carves %d", got)
+	}
+	if got := b.replicas.Value(); got != 3 {
+		t.Fatalf("replicas %d", got)
+	}
+	if got := b.rollbacks.Value(); got != 7 {
+		t.Fatalf("rollbacks %d", got)
+	}
+	if got := b.carveRejected["terminals"].Value(); got != 1 {
+		t.Fatalf("terminals rejects %d", got)
+	}
+	if got := b.rejectedOther.Value(); got != 1 {
+		t.Fatalf("unknown reason should land on other, got %d", got)
+	}
+	if got := b.solutions[true].Value(); got != 1 {
+		t.Fatalf("feasible solutions %d", got)
+	}
+	if got := b.solutions[false].Value(); got != 1 {
+		t.Fatalf("infeasible solutions %d", got)
+	}
+	if got := b.improved.Value(); got != 1 {
+		t.Fatalf("improved %d", got)
+	}
+	if got := b.panics.Value(); got != 1 {
+		t.Fatalf("panics %d", got)
+	}
+	if got := b.phase[trace.PhaseSearch].Count(); got != 1 {
+		t.Fatalf("search phase count %d", got)
+	}
+	if got := b.phaseOther.Count(); got != 1 {
+		t.Fatalf("unknown phase should land on other, got %d", got)
+	}
+
+	out := render(t, r)
+	for _, want := range []string{
+		`fpgapart_carve_rejected_total{reason="terminals"} 1`,
+		`fpgapart_carve_accepted_total 1`,
+		`fpgapart_solutions_total{feasible="true"} 1`,
+		`fpgapart_phase_seconds_count{phase="search"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+}
+
+// The bridge sits on the FM hot path via the trace stream: steady-state
+// event observation must not allocate.
+func TestBridgeEventAllocs(t *testing.T) {
+	b := NewBridge(NewRegistry())
+	events := []trace.Event{
+		{Kind: trace.KindFMPass, Moves: 12, Cut: 9},
+		{Kind: trace.KindCarveAccepted, Replicas: 1, Rollbacks: 2},
+		{Kind: trace.KindCarveRejected, Reason: "fm"},
+		{Kind: trace.KindSolution, Feasible: true, Improved: true},
+		{Kind: trace.KindPhase, Phase: trace.PhaseFold, Dur: time.Millisecond},
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		for _, e := range events {
+			b.Event(e)
+		}
+	}); avg != 0 {
+		t.Fatalf("Bridge.Event allocates %v times", avg)
+	}
+}

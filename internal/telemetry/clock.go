@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies wall-clock readings to the timing instrumentation.
+// The clock is explicit so tests can substitute a fake and so the
+// determinism contract is auditable: clock readings feed only metric
+// observations and trace phase events, never search decisions, which
+// is what keeps fixed-seed partitioning results byte-identical with
+// telemetry enabled.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// SystemClock returns the real wall clock.
+func SystemClock() Clock { return systemClock{} }
+
+// FakeClock is a manually advanced Clock for tests.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at t.
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{t: t} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

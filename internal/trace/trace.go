@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind discriminates events.
@@ -41,6 +42,20 @@ const (
 	// search, in deterministic index order: Feasible/Cost/Parts
 	// describe it, Improved whether it became the incumbent best.
 	KindSolution
+	// KindPhase marks the completion of one timed engine phase (Phase
+	// names it, Dur is its wall-clock duration). Phase timings are
+	// read from an explicitly injected clock and feed only
+	// observability sinks — never search decisions — so fixed-seed
+	// results are byte-identical with or without phase tracing.
+	KindPhase
+)
+
+// Phase names carried by KindPhase events.
+const (
+	PhaseParse  = "parse"  // reading/parsing the input circuit
+	PhaseSearch = "search" // the whole multi-start carve search
+	PhaseVerify = "verify" // in-loop solution verification (per attempt)
+	PhaseFold   = "fold"   // remap + assembly of one attempt's solution
 )
 
 // String returns the JSONL event-type tag.
@@ -54,6 +69,8 @@ func (k Kind) String() string {
 		return "fm-pass"
 	case KindSolution:
 		return "solution"
+	case KindPhase:
+		return "phase"
 	default:
 		return "unknown"
 	}
@@ -86,6 +103,10 @@ type Event struct {
 	// worker panic (Reason carries the panic message); the run is
 	// degraded but alive.
 	Panic bool
+	// Phase fields (KindPhase): the phase name and its wall-clock
+	// duration.
+	Phase string
+	Dur   time.Duration
 }
 
 // Sink receives events. Implementations must be safe for concurrent
@@ -226,6 +247,10 @@ func (j *JSONL) Event(e Event) {
 				b = appendStringField(b, "reason", e.Reason)
 			}
 		}
+	case KindPhase:
+		b = appendStringField(b, "phase", e.Phase)
+		b = append(b, `,"dur_ns":`...)
+		b = strconv.AppendInt(b, int64(e.Dur), 10)
 	}
 	b = append(b, '}', '\n')
 	j.buf = b

@@ -130,6 +130,68 @@ func TestMulti(t *testing.T) {
 	}
 }
 
+// orderSink appends its tag to a shared log on every event, recording
+// the fan-out order across sinks.
+type orderSink struct {
+	tag string
+	log *[]string
+}
+
+func (s orderSink) Event(Event) { *s.log = append(*s.log, s.tag) }
+
+func TestMultiFanOutOrder(t *testing.T) {
+	// Every event must reach the sinks in registration order — sinks
+	// like the progress printer rely on seeing events before the
+	// aggregator snapshots them.
+	var log []string
+	s := Multi(orderSink{"a", &log}, nil, orderSink{"b", &log}, orderSink{"c", &log})
+	s.Event(Event{Kind: KindFMPass})
+	s.Event(Event{Kind: KindSolution})
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	if len(log) != len(want) {
+		t.Fatalf("fan-out log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("fan-out order %v, want %v", log, want)
+		}
+	}
+}
+
+func TestMultiCollapse(t *testing.T) {
+	if Multi() != nil {
+		t.Fatal("empty Multi should collapse to nil")
+	}
+	if Multi(nil) != nil {
+		t.Fatal("single-nil Multi should collapse to nil")
+	}
+	var r Recorder
+	// Nil sinks are dropped before the arity check, so nil-padded single
+	// sinks still take the direct (non-fanout) path.
+	if Multi(nil, &r, nil) != Sink(&r) {
+		t.Fatal("nil-padded single-sink Multi should return the sink itself")
+	}
+}
+
+func TestJSONLPhaseEvent(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Event(Event{Kind: KindPhase, Attempt: -1, Phase: PhaseSearch, Dur: 1500000})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("phase line not valid JSON: %v\n%s", err, buf.String())
+	}
+	if m["event"] != "phase" || m["phase"] != PhaseSearch || m["dur_ns"].(float64) != 1.5e6 {
+		t.Fatalf("phase line mangled: %v", m)
+	}
+	if int(m["attempt"].(float64)) != -1 {
+		t.Fatalf("attempt %v, want -1", m["attempt"])
+	}
+}
+
 func TestRecorderFilter(t *testing.T) {
 	var r Recorder
 	r.Event(Event{Kind: KindFMPass})
@@ -138,6 +200,13 @@ func TestRecorderFilter(t *testing.T) {
 	sols := r.Filter(KindSolution)
 	if len(sols) != 2 || sols[0].Attempt != 1 || sols[1].Attempt != 2 {
 		t.Fatalf("filter returned %+v", sols)
+	}
+	if got := r.Filter(KindPhase); len(got) != 0 {
+		t.Fatalf("filter of absent kind returned %+v", got)
+	}
+	// Filter returns copies in arrival order without consuming them.
+	if again := r.Filter(KindSolution); len(again) != 2 {
+		t.Fatalf("second filter returned %+v", again)
 	}
 }
 
