@@ -9,6 +9,7 @@ import (
 	"fpgapart/internal/bench"
 	"fpgapart/internal/core"
 	"fpgapart/internal/fm"
+	"fpgapart/internal/multilevel"
 	"fpgapart/internal/replication"
 )
 
@@ -34,6 +35,95 @@ const (
 	benchScale   = 2
 	benchSeed    = 1
 )
+
+// multilevelPoint is the large-instance trajectory sample: flat FM and
+// the multilevel V-cycle on the same fixed-seed Rent's-rule instance
+// with the same single-start budget. The cut columns are deterministic;
+// only the timing columns move as the engines change.
+type multilevelPoint struct {
+	Name              string  `json:"name"`
+	Circuit           string  `json:"circuit"`
+	Cells             int     `json:"cells"`
+	Rent              float64 `json:"rent"`
+	Seed              int64   `json:"seed"`
+	FlatNsPerOp       int64   `json:"flat_ns_per_op"`
+	MultilevelNsPerOp int64   `json:"multilevel_ns_per_op"`
+	FlatCut           int     `json:"flat_cut"`
+	MultilevelCut     int     `json:"multilevel_cut"`
+	Levels            int     `json:"levels"`
+}
+
+const (
+	mlCells = 100_000
+	mlRent  = 0.65
+	mlSeed  = 1
+)
+
+// multilevelBench samples the 10⁵-cell comparison point.
+func multilevelBench() (multilevelPoint, error) {
+	g, err := bench.GenerateRent(bench.RentParams{
+		Cells: mlCells, PrimaryIn: 200, PrimaryOut: 100, Rent: mlRent, Seed: mlSeed,
+	})
+	if err != nil {
+		return multilevelPoint{}, err
+	}
+	minA, maxA := fm.Balance(g.TotalArea(), 0.1)
+
+	var flatCut int
+	var flatErr error
+	flatRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, res, err := fm.Bipartition(g, fm.Options{
+				Config: fm.Config{
+					MinArea: minA, MaxArea: maxA,
+					Threshold: fm.NoReplication, Seed: mlSeed,
+				},
+				Starts: 1,
+			})
+			if err != nil {
+				flatErr = err
+				return
+			}
+			flatCut = res.Cut
+		}
+	})
+	if flatErr != nil {
+		return multilevelPoint{}, flatErr
+	}
+
+	var mlCut, mlLevels int
+	var mlErr error
+	mlRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := multilevel.Run(g, multilevel.Config{
+				TargetArea: g.TotalArea() / 2,
+				MinArea:    minA, MaxArea: maxA,
+				Starts: 1, Seed: mlSeed,
+			})
+			if err != nil {
+				mlErr = err
+				return
+			}
+			mlCut, mlLevels = res.Cut, len(res.Levels)
+		}
+	})
+	if mlErr != nil {
+		return multilevelPoint{}, mlErr
+	}
+
+	return multilevelPoint{
+		Name:              "multilevel_vcycle_100k",
+		Circuit:           g.Name,
+		Cells:             g.NumCells(),
+		Rent:              mlRent,
+		Seed:              mlSeed,
+		FlatNsPerOp:       flatRes.NsPerOp(),
+		MultilevelNsPerOp: mlRes.NsPerOp(),
+		FlatCut:           flatCut,
+		MultilevelCut:     mlCut,
+		Levels:            mlLevels,
+	}, nil
+}
 
 // writeBenchJSON samples the two engine hot paths (one FM
 // bipartitioning run, one full k-way search) and records them as
@@ -79,12 +169,18 @@ func writeBenchJSON(dir string) error {
 		}
 	})
 
+	mlPoint, err := multilevelBench()
+	if err != nil {
+		return err
+	}
+
 	points := []struct {
 		file  string
-		point benchPoint
+		point any
 	}{
 		{"BENCH_fm.json", point("fm_bipartition", fmRes, cut, 0)},
 		{"BENCH_kway.json", point("kway_partition", kwayRes, 0, cost)},
+		{"BENCH_multilevel.json", mlPoint},
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err

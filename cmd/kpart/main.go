@@ -51,6 +51,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print the solution summary as JSON")
 	timeout := flag.Duration("timeout", 0, "wall-clock search budget (0 = unlimited); on expiry the best solution so far is kept")
 	maxStale := flag.Int("max-stale", 0, "stop after this many consecutive non-improving solutions (0 = run all)")
+	multilevel := flag.Bool("multilevel", false, "seed large carve subproblems with the multilevel V-cycle (coarsen, partition, uncoarsen+refine)")
 	progress := flag.Bool("progress", false, "print per-solution progress and search statistics to stderr")
 	statsJSON := flag.String("stats-json", "", "stream structured engine events (FM passes, carves, solutions) as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (Prometheus text format 0.0.4) to this file")
@@ -78,17 +79,18 @@ exit codes:
 		os.Exit(1)
 	}
 	err = run(runConfig{
-		path:      flag.Arg(0),
-		threshold: *threshold,
-		solutions: *solutions,
-		seed:      *seed,
-		gate:      *gate || strings.HasSuffix(flag.Arg(0), ".gnl"),
-		verbose:   *verbose,
-		check:     *check,
-		outDir:    *outDir,
-		jsonOut:   *jsonOut,
-		timeout:   *timeout,
-		maxStale:  *maxStale,
+		path:       flag.Arg(0),
+		threshold:  *threshold,
+		solutions:  *solutions,
+		seed:       *seed,
+		gate:       *gate || strings.HasSuffix(flag.Arg(0), ".gnl"),
+		verbose:    *verbose,
+		check:      *check,
+		outDir:     *outDir,
+		jsonOut:    *jsonOut,
+		timeout:    *timeout,
+		maxStale:   *maxStale,
+		multilevel: *multilevel,
 		progress:   *progress,
 		statsJSON:  *statsJSON,
 		metricsOut: *metricsOut,
@@ -123,17 +125,18 @@ func exitCode(err error) int {
 }
 
 type runConfig struct {
-	path      string
-	threshold int
-	solutions int
-	seed      int64
-	gate      bool
-	verbose   bool
-	check     bool
-	outDir    string
-	jsonOut   bool
+	path       string
+	threshold  int
+	solutions  int
+	seed       int64
+	gate       bool
+	verbose    bool
+	check      bool
+	outDir     string
+	jsonOut    bool
 	timeout    time.Duration
 	maxStale   int
+	multilevel bool
 	progress   bool
 	statsJSON  string
 	metricsOut string
@@ -215,13 +218,14 @@ func run(cfg runConfig) error {
 		sink.Event(trace.Event{Kind: trace.KindPhase, Attempt: -1, Phase: trace.PhaseParse, Dur: time.Since(parseStart)})
 	}
 	res, err := core.Partition(g, core.Options{
-		Threshold: cfg.threshold,
-		Solutions: cfg.solutions,
-		Seed:      cfg.seed,
-		Verify:    cfg.check,
-		Timeout:   cfg.timeout,
-		MaxStale:  cfg.maxStale,
-		Trace:     sink,
+		Threshold:  cfg.threshold,
+		Solutions:  cfg.solutions,
+		Seed:       cfg.seed,
+		Verify:     cfg.check,
+		Timeout:    cfg.timeout,
+		MaxStale:   cfg.maxStale,
+		Multilevel: cfg.multilevel,
+		Trace:      sink,
 	})
 	if agg != nil {
 		c := agg.Snapshot()

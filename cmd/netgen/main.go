@@ -6,12 +6,14 @@
 //
 //	netgen -suite s9234 > s9234.clb
 //	netgen -cells 500 -pi 30 -po 20 -dff 100 -seed 7 > synth.clb
+//	netgen -cells 100000 -rent 0.65 -seed 7 > rent65.clb
 //	netgen -gates 2000 -pi 30 -po 20 -seed 7 -gate > synth.gnl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fpgapart/internal/bench"
@@ -20,57 +22,115 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "", "emit a named suite circuit (c3540..s38584); empty = parameterized")
-	cells := flag.Int("cells", 500, "CLB count for parameterized mapped circuits")
-	gates := flag.Int("gates", 2000, "gate count for -gate netlists")
-	pi := flag.Int("pi", 30, "primary inputs")
-	po := flag.Int("po", 20, "primary outputs")
-	dff := flag.Int("dff", 0, "flip-flop count (mapped) or 0")
-	dffFrac := flag.Float64("dfffrac", 0.1, "flip-flop fraction for -gate netlists")
-	clustering := flag.Float64("clustering", 0.5, "locality knob in [0,1)")
-	seed := flag.Int64("seed", 1, "random seed")
-	gate := flag.Bool("gate", false, "emit a gate-level netlist instead of a mapped circuit")
-	list := flag.Bool("list", false, "list suite circuits and exit")
+	cfg := genConfig{}
+	flag.StringVar(&cfg.suite, "suite", "", "emit a named suite circuit (c3540..s38584); empty = parameterized")
+	flag.IntVar(&cfg.cells, "cells", 500, "CLB count for parameterized mapped circuits")
+	flag.IntVar(&cfg.gates, "gates", 2000, "gate count for -gate netlists")
+	flag.IntVar(&cfg.pi, "pi", 30, "primary inputs")
+	flag.IntVar(&cfg.po, "po", 20, "primary outputs")
+	flag.IntVar(&cfg.dff, "dff", 0, "flip-flop count (mapped) or 0")
+	flag.Float64Var(&cfg.dffFrac, "dfffrac", 0.1, "flip-flop fraction for -gate netlists")
+	flag.Float64Var(&cfg.clustering, "clustering", 0.5, "locality knob in [0,1)")
+	flag.Float64Var(&cfg.rent, "rent", 0, "Rent exponent in (0,1): use the power-law distance generator (0 = classic generator)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.BoolVar(&cfg.gate, "gate", false, "emit a gate-level netlist instead of a mapped circuit")
+	flag.BoolVar(&cfg.list, "list", false, "list suite circuits and exit")
 	flag.Parse()
 
-	if err := run(*suite, *cells, *gates, *pi, *po, *dff, *dffFrac, *clustering, *seed, *gate, *list); err != nil {
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "netgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suite string, cells, gates, pi, po, dff int, dffFrac, clustering float64, seed int64, gate, list bool) error {
-	if list {
+type genConfig struct {
+	suite      string
+	cells      int
+	gates      int
+	pi         int
+	po         int
+	dff        int
+	dffFrac    float64
+	clustering float64
+	rent       float64
+	seed       int64
+	gate       bool
+	list       bool
+}
+
+// validate rejects out-of-range parameters up front with a clear
+// message, instead of letting a generator loop hang or emit a
+// degenerate circuit.
+func (c genConfig) validate() error {
+	if c.list || c.suite != "" {
+		return nil
+	}
+	if c.gate {
+		if c.gates <= 0 {
+			return fmt.Errorf("-gates must be positive, got %d", c.gates)
+		}
+	} else if c.cells <= 0 {
+		return fmt.Errorf("-cells must be positive, got %d", c.cells)
+	}
+	if c.pi <= 0 {
+		return fmt.Errorf("-pi must be positive, got %d", c.pi)
+	}
+	if c.po <= 0 {
+		return fmt.Errorf("-po must be positive, got %d", c.po)
+	}
+	if c.dff < 0 {
+		return fmt.Errorf("-dff must be non-negative, got %d", c.dff)
+	}
+	if c.clustering < 0 || c.clustering >= 1 {
+		return fmt.Errorf("-clustering must be in [0,1), got %g", c.clustering)
+	}
+	if c.rent != 0 && (c.rent <= 0 || c.rent >= 1) {
+		return fmt.Errorf("-rent must be in (0,1), got %g", c.rent)
+	}
+	return nil
+}
+
+func run(w io.Writer, cfg genConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if cfg.list {
 		for _, c := range bench.Suite() {
-			fmt.Printf("%-8s %5d CLBs  %4d IOBs  %5d DFF\n", c.Name, c.CLBs, c.IOBs, c.DFF)
+			fmt.Fprintf(w, "%-8s %5d CLBs  %4d IOBs  %5d DFF\n", c.Name, c.CLBs, c.IOBs, c.DFF)
 		}
 		return nil
 	}
-	if gate {
+	if cfg.gate {
 		n, err := netlist.Random(netlist.RandomParams{
-			Gates: gates, Inputs: pi, Outputs: po, DffFrac: dffFrac, Seed: seed,
+			Gates: cfg.gates, Inputs: cfg.pi, Outputs: cfg.po, DffFrac: cfg.dffFrac, Seed: cfg.seed,
 		})
 		if err != nil {
 			return err
 		}
-		return netlist.Write(os.Stdout, n)
+		return netlist.Write(w, n)
 	}
 	var g *hypergraph.Graph
 	var err error
-	if suite != "" {
-		c, ok := bench.ByName(suite)
+	switch {
+	case cfg.suite != "":
+		c, ok := bench.ByName(cfg.suite)
 		if !ok {
-			return fmt.Errorf("unknown suite circuit %q (try -list)", suite)
+			return fmt.Errorf("unknown suite circuit %q (try -list)", cfg.suite)
 		}
 		g, err = c.Build()
-	} else {
+	case cfg.rent != 0:
+		g, err = bench.GenerateRent(bench.RentParams{
+			Cells: cfg.cells, PrimaryIn: cfg.pi, PrimaryOut: cfg.po, DFFs: cfg.dff,
+			Rent: cfg.rent, Seed: cfg.seed,
+		})
+	default:
 		g, err = bench.Generate(bench.Params{
-			Cells: cells, PrimaryIn: pi, PrimaryOut: po, DFFs: dff,
-			Clustering: clustering, Seed: seed,
+			Cells: cfg.cells, PrimaryIn: cfg.pi, PrimaryOut: cfg.po, DFFs: cfg.dff,
+			Clustering: cfg.clustering, Seed: cfg.seed,
 		})
 	}
 	if err != nil {
 		return err
 	}
-	return hypergraph.Write(os.Stdout, g)
+	return hypergraph.Write(w, g)
 }

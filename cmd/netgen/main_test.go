@@ -1,38 +1,21 @@
 package main
 
 import (
-	"os"
 	"strings"
 	"testing"
 )
 
-func capture(t *testing.T, fn func() error) (string, error) {
+// gen runs the generator into a buffer with sane defaults overridden
+// per test.
+func gen(t *testing.T, cfg genConfig) (string, error) {
 	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	ferr := fn()
-	w.Close()
-	os.Stdout = old
-	buf := make([]byte, 1<<22)
-	total := 0
-	for {
-		n, err := r.Read(buf[total:])
-		total += n
-		if err != nil || n == 0 || total == len(buf) {
-			break
-		}
-	}
-	return string(buf[:total]), ferr
+	var sb strings.Builder
+	err := run(&sb, cfg)
+	return sb.String(), err
 }
 
 func TestList(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run("", 0, 0, 0, 0, 0, 0, 0, 1, false, true)
-	})
+	out, err := gen(t, genConfig{list: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,9 +27,7 @@ func TestList(t *testing.T) {
 }
 
 func TestSuiteCircuit(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run("c3540", 0, 0, 0, 0, 0, 0, 0, 1, false, false)
-	})
+	out, err := gen(t, genConfig{suite: "c3540", seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,17 +37,13 @@ func TestSuiteCircuit(t *testing.T) {
 }
 
 func TestUnknownSuite(t *testing.T) {
-	if _, err := capture(t, func() error {
-		return run("nonesuch", 0, 0, 0, 0, 0, 0, 0, 1, false, false)
-	}); err == nil {
+	if _, err := gen(t, genConfig{suite: "nonesuch", seed: 1}); err == nil {
 		t.Fatal("expected error")
 	}
 }
 
 func TestParameterized(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run("", 80, 0, 10, 5, 10, 0, 0.5, 2, false, false)
-	})
+	out, err := gen(t, genConfig{cells: 80, pi: 10, po: 5, dff: 10, clustering: 0.5, seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,13 +53,67 @@ func TestParameterized(t *testing.T) {
 }
 
 func TestGateNetlist(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run("", 0, 120, 10, 5, 0, 0.1, 0, 3, true, false)
-	})
+	out, err := gen(t, genConfig{gates: 120, pi: 10, po: 5, dffFrac: 0.1, seed: 3, gate: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "circuit rand3") || !strings.Contains(out, "input ") {
 		t.Fatalf("bad .gnl output:\n%.200s", out)
+	}
+}
+
+func TestRentGenerator(t *testing.T) {
+	out, err := gen(t, genConfig{cells: 400, pi: 20, po: 10, rent: 0.6, seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "circuit rent60-4") || !strings.Contains(out, "cell ") {
+		t.Fatalf("bad -rent output:\n%.200s", out)
+	}
+}
+
+// TestValidation pins the up-front parameter checks: every rejected
+// configuration must fail fast with a message naming the flag.
+func TestValidation(t *testing.T) {
+	base := genConfig{cells: 100, gates: 100, pi: 10, po: 5, clustering: 0.5, seed: 1}
+	cases := []struct {
+		name   string
+		mut    func(*genConfig)
+		errSub string
+	}{
+		{"zero cells", func(c *genConfig) { c.cells = 0 }, "-cells"},
+		{"negative cells", func(c *genConfig) { c.cells = -5 }, "-cells"},
+		{"zero gates", func(c *genConfig) { c.gate = true; c.gates = 0 }, "-gates"},
+		{"negative gates", func(c *genConfig) { c.gate = true; c.gates = -1 }, "-gates"},
+		{"zero pi", func(c *genConfig) { c.pi = 0 }, "-pi"},
+		{"negative pi", func(c *genConfig) { c.pi = -3 }, "-pi"},
+		{"zero po", func(c *genConfig) { c.po = 0 }, "-po"},
+		{"negative po", func(c *genConfig) { c.po = -1 }, "-po"},
+		{"negative dff", func(c *genConfig) { c.dff = -1 }, "-dff"},
+		{"clustering too high", func(c *genConfig) { c.clustering = 1.0 }, "-clustering"},
+		{"clustering negative", func(c *genConfig) { c.clustering = -0.1 }, "-clustering"},
+		{"rent at one", func(c *genConfig) { c.rent = 1.0 }, "-rent"},
+		{"rent negative", func(c *genConfig) { c.rent = -0.5 }, "-rent"},
+		{"rent above one", func(c *genConfig) { c.rent = 1.5 }, "-rent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			_, err := gen(t, cfg)
+			if err == nil {
+				t.Fatalf("config %+v: expected validation error", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("error %q does not name %s", err, tc.errSub)
+			}
+		})
+	}
+	// The -list and -suite paths skip generator validation entirely.
+	if _, err := gen(t, genConfig{list: true}); err != nil {
+		t.Fatalf("-list with zero params should pass: %v", err)
+	}
+	if _, err := gen(t, genConfig{suite: "c3540"}); err != nil {
+		t.Fatalf("-suite with zero params should pass: %v", err)
 	}
 }

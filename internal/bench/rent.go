@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpgapart/internal/hypergraph"
+)
+
+// RentParams controls the Rent's-rule generator, the large-instance
+// companion to Generate. Where Generate reproduces the paper's Table II
+// circuits (10³ cells with mapped-CLB packing artifacts), GenerateRent
+// targets 10⁵–10⁶ cells with a controlled interconnect profile: input
+// source distances follow Donath's power-law model, so a contiguous
+// window of B cells exposes ~B^p external nets — Rent's rule T = t·B^p
+// with the requested exponent.
+type RentParams struct {
+	Name       string
+	Cells      int
+	PrimaryIn  int
+	PrimaryOut int // lower bound; dangling nets are promoted to POs
+	DFFs       int
+	// Rent is the Rent exponent p in (0,1): the distance d from a cell
+	// back to each input's driver is drawn from the truncated power-law
+	// density ∝ d^−(2−p). Larger p means longer wires and a harder
+	// partitioning instance. Default 0.65 (typical mapped logic).
+	Rent float64
+	// TwoOutputFrac is the fraction of two-output cells, emitted with
+	// split dependence rows so functional replication has ψ > 0 targets.
+	// Default 0.15.
+	TwoOutputFrac float64
+	Seed          int64
+}
+
+func (p RentParams) withDefaults() RentParams {
+	if p.Rent == 0 {
+		p.Rent = 0.65
+	}
+	if p.TwoOutputFrac == 0 {
+		p.TwoOutputFrac = 0.15
+	}
+	if p.Name == "" {
+		p.Name = fmt.Sprintf("rent%02d-%d", int(p.Rent*100+0.5), p.Seed)
+	}
+	return p
+}
+
+// GenerateRent builds a mapped-circuit hypergraph whose interconnect
+// follows Rent's rule with the requested exponent. The construction is
+// a single O(Cells) pass: cells sit on a line, each drawing 2–4 inputs
+// from earlier outputs at power-law distances (acyclic by
+// construction), with primary inputs force-fed over the first quarter
+// and a fix-up queue that retires long-unconsumed outputs so dangling
+// nets stay bounded. The same RentParams always produce the same
+// circuit.
+func GenerateRent(p RentParams) (*hypergraph.Graph, error) {
+	p = p.withDefaults()
+	if p.Cells < 1 || p.PrimaryIn < 1 {
+		return nil, fmt.Errorf("bench: need at least 1 cell and 1 primary input (got %d, %d)", p.Cells, p.PrimaryIn)
+	}
+	if p.Rent <= 0 || p.Rent >= 1 {
+		return nil, fmt.Errorf("bench: Rent exponent must be in (0,1), got %g", p.Rent)
+	}
+	if p.TwoOutputFrac < 0 || p.TwoOutputFrac > 1 {
+		return nil, fmt.Errorf("bench: TwoOutputFrac must be in [0,1], got %g", p.TwoOutputFrac)
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	b := hypergraph.NewBuilder(p.Name)
+
+	// The source stream: every net a later cell may read, in creation
+	// order. Parallel slices track consumption and PI-ness by position;
+	// distances are positions back from the tail.
+	src := make([]hypergraph.NetID, 0, p.PrimaryIn+2*p.Cells)
+	consumed := make([]bool, 0, p.PrimaryIn+2*p.Cells)
+	isPI := make([]bool, 0, p.PrimaryIn+2*p.Cells)
+	push := func(n hypergraph.NetID, pi bool) int {
+		src = append(src, n)
+		consumed = append(consumed, false)
+		isPI = append(isPI, pi)
+		return len(src) - 1
+	}
+
+	// PIs become available spread over the first quarter of the cell
+	// line, so input cones are localized rather than all rooted at 0.
+	pis := make([]hypergraph.NetID, p.PrimaryIn)
+	piDue := make([]int, p.PrimaryIn)
+	for i := range pis {
+		pis[i] = b.InputNet(fmt.Sprintf("pi%d", i))
+		piDue[i] = i * (p.Cells / 4) / p.PrimaryIn
+	}
+
+	// sample draws a source distance in [1, dmax] from the truncated
+	// power law f(d) ∝ d^−a with a = 2−p ∈ (1,2), via inverse CDF.
+	alpha := 2 - p.Rent
+	sample := func(dmax int) int {
+		if dmax <= 1 {
+			return 1
+		}
+		e := 1 - alpha // in (−1, 0)
+		u := r.Float64()
+		d := math.Pow(1+u*(math.Pow(float64(dmax), e)-1), 1/e)
+		di := int(d)
+		if di < 1 {
+			di = 1
+		}
+		if di > dmax {
+			di = dmax
+		}
+		return di
+	}
+
+	// piWait and dangling are FIFO fix-up queues (positions into src):
+	// a PI waiting too long, or an output no one has read within the
+	// window, is force-fed as the next cell's input. Cells consume
+	// ~2.8 nets and produce ~1.15, so the queues stay bounded.
+	var piWait, dangling []int
+	const staleWindow = 64
+	wires := 0
+
+	type cellPlan struct {
+		inputs  []hypergraph.NetID
+		outputs []hypergraph.NetID
+		dep     [][]int
+		dffs    int
+	}
+	dffLeft := p.DFFs
+	nextPI := 0
+	for ci := 0; ci < p.Cells; ci++ {
+		for nextPI < p.PrimaryIn && piDue[nextPI] <= ci {
+			piWait = append(piWait, push(pis[nextPI], true))
+			nextPI++
+		}
+		for len(piWait) > 0 && consumed[piWait[0]] {
+			piWait = piWait[1:]
+		}
+		for len(dangling) > 0 && consumed[dangling[0]] {
+			dangling = dangling[1:]
+		}
+
+		twoOut := r.Float64() < p.TwoOutputFrac
+		nIn := 2
+		switch v := r.Float64(); {
+		case v < 0.35:
+			nIn = 2
+		case v < 0.80:
+			nIn = 3
+		default:
+			nIn = 4
+		}
+		if twoOut && nIn < 3 {
+			nIn = 3 // split dependence rows need ≥3 inputs
+		}
+		if nIn > len(src) {
+			nIn = len(src)
+		}
+
+		plan := cellPlan{inputs: make([]hypergraph.NetID, 0, nIn)}
+		take := func(pos int) bool {
+			n := src[pos]
+			for _, have := range plan.inputs {
+				if have == n {
+					return false
+				}
+			}
+			plan.inputs = append(plan.inputs, n)
+			consumed[pos] = true
+			return true
+		}
+		// Forced feeds first: PIs that must be consumed before the line
+		// runs out (or have gone stale), then one stale dangling output.
+		force := len(piWait) - (p.Cells - ci - 1)
+		if force < 1 && len(piWait) > 0 && len(src)-piWait[0] > 2*staleWindow {
+			force = 1
+		}
+		for force > 0 && len(piWait) > 0 && len(plan.inputs) < nIn {
+			take(piWait[0])
+			piWait = piWait[1:]
+			force--
+		}
+		if len(dangling) > 0 && len(plan.inputs) < nIn &&
+			len(src)-dangling[0] > staleWindow {
+			take(dangling[0])
+			dangling = dangling[1:]
+		}
+		// Remaining inputs at power-law distances from the tail.
+		for tries := 0; len(plan.inputs) < nIn && tries < 32; tries++ {
+			take(len(src) - sample(len(src)))
+		}
+		if len(plan.inputs) == 0 {
+			take(len(src) - 1)
+		}
+
+		nOut := 1
+		if twoOut && len(plan.inputs) >= 3 {
+			nOut = 2
+		}
+		for oi := 0; oi < nOut; oi++ {
+			w := b.Net(fmt.Sprintf("w%d", wires))
+			wires++
+			plan.outputs = append(plan.outputs, w)
+			dangling = append(dangling, push(w, false))
+		}
+		if nOut == 2 {
+			// Split dependence with one shared input: each output sees a
+			// proper input subset, so ψ > 0 and replication can untangle
+			// the pair (Eq. 6).
+			k := (len(plan.inputs) + 1) / 2
+			rows := make([][]int, 2)
+			for oi := range rows {
+				row := make([]int, len(plan.inputs))
+				lo, hi := 0, k
+				if oi == 1 {
+					lo, hi = k-1, len(plan.inputs)
+				}
+				for j := lo; j < hi; j++ {
+					row[j] = 1
+				}
+				rows[oi] = row
+			}
+			plan.dep = rows
+		}
+		if dffLeft > 0 {
+			want := float64(dffLeft) / float64(p.Cells-ci)
+			if r.Float64() < want {
+				plan.dffs = 1
+				if want > 1 && dffLeft > 1 && r.Float64() < want-1 {
+					plan.dffs = 2
+				}
+			}
+			if plan.dffs > dffLeft {
+				plan.dffs = dffLeft
+			}
+			dffLeft -= plan.dffs
+		}
+		b.AddCell(hypergraph.CellSpec{
+			Name:    fmt.Sprintf("u%d", ci),
+			Inputs:  plan.inputs,
+			Outputs: plan.outputs,
+			DepBits: plan.dep,
+			DFFs:    plan.dffs,
+		})
+	}
+
+	// Dangling outputs become primary outputs; top up to the requested
+	// count with random driven nets (PrimaryOut is a lower bound).
+	marked := 0
+	extra := make(map[hypergraph.NetID]bool)
+	for pos, n := range src {
+		if !consumed[pos] && !isPI[pos] {
+			b.MarkOutput(n)
+			extra[n] = true
+			marked++
+		}
+	}
+	for tries := 0; marked < p.PrimaryOut && tries < 64*p.PrimaryOut; tries++ {
+		pos := r.Intn(len(src))
+		if isPI[pos] || extra[src[pos]] {
+			continue
+		}
+		b.MarkOutput(src[pos])
+		extra[src[pos]] = true
+		marked++
+	}
+	return b.Build()
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"testing"
+
+	"fpgapart/internal/hypergraph"
+)
+
+func TestGenerateRentValid(t *testing.T) {
+	g, err := GenerateRent(RentParams{
+		Cells: 20000, PrimaryIn: 48, PrimaryOut: 24, DFFs: 500, Rent: 0.65, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCells() != 20000 {
+		t.Fatalf("cell count %d, want 20000", g.NumCells())
+	}
+	dffs := 0
+	twoOut := 0
+	for i := range g.Cells {
+		dffs += g.Cells[i].DFFs
+		if len(g.Cells[i].Outputs) == 2 {
+			twoOut++
+		}
+	}
+	if dffs != 500 {
+		t.Fatalf("DFF total %d, want 500", dffs)
+	}
+	// The default two-output fraction is 0.15; allow generous slack.
+	if frac := float64(twoOut) / 20000; frac < 0.10 || frac > 0.20 {
+		t.Fatalf("two-output fraction %.3f outside [0.10, 0.20]", frac)
+	}
+	// The fix-up queue must keep dangling outputs (promoted to POs)
+	// bounded: without it a constant fraction of 20k wires would
+	// dangle.
+	pos := 0
+	for i := range g.Nets {
+		if g.Nets[i].Ext == hypergraph.ExtOut {
+			pos++
+		}
+	}
+	if pos < 24 || pos > 2000 {
+		t.Fatalf("primary outputs %d outside [24, 2000]", pos)
+	}
+}
+
+func TestGenerateRentRejectsBadParams(t *testing.T) {
+	cases := []RentParams{
+		{Cells: 0, PrimaryIn: 8, Rent: 0.6},
+		{Cells: 100, PrimaryIn: 0, Rent: 0.6},
+		{Cells: 100, PrimaryIn: 8, Rent: -0.5},
+		{Cells: 100, PrimaryIn: 8, Rent: 1.5},
+		{Cells: 100, PrimaryIn: 8, Rent: 0.6, TwoOutputFrac: 2},
+	}
+	for _, p := range cases {
+		if _, err := GenerateRent(p); err == nil {
+			t.Fatalf("params %+v: expected an error", p)
+		}
+	}
+}
+
+// TestGenerateRentDeterministic renders the same params to bytes under
+// different GOMAXPROCS values: the generator is single-threaded and
+// must be immune to scheduler parallelism.
+func TestGenerateRentDeterministic(t *testing.T) {
+	render := func() []byte {
+		g, err := GenerateRent(RentParams{
+			Cells: 5000, PrimaryIn: 32, PrimaryOut: 16, Rent: 0.7, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := hypergraph.Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	var first []byte
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		out := render()
+		if first == nil {
+			first = out
+			continue
+		}
+		if !bytes.Equal(first, out) {
+			t.Fatalf("output diverged at GOMAXPROCS=%d", procs)
+		}
+	}
+}
+
+// rentSlope measures the realized Rent exponent: average external-net
+// count T(B) over contiguous windows of B cells, slope of log T
+// against log B.
+func rentSlope(t *testing.T, g *hypergraph.Graph, b1, b2 int) float64 {
+	t.Helper()
+	terminals := func(B int) float64 {
+		nWin := g.NumCells() / B
+		ext := make([]int, nWin)
+		touch := make(map[int]bool, 8)
+		for ni := range g.Nets {
+			for w := range touch {
+				delete(touch, w)
+			}
+			outside := g.Nets[ni].Ext != hypergraph.Internal
+			for _, cn := range g.Nets[ni].Conns {
+				if w := int(cn.Cell) / B; w < nWin {
+					touch[w] = true
+				} else {
+					outside = true
+				}
+			}
+			if len(touch) > 1 || outside {
+				for w := range touch {
+					ext[w]++
+				}
+			}
+		}
+		sum := 0.0
+		for _, e := range ext {
+			sum += float64(e)
+		}
+		return sum / float64(nWin)
+	}
+	return math.Log(terminals(b2)/terminals(b1)) / math.Log(float64(b2)/float64(b1))
+}
+
+// TestRentExponentRealized property-checks the generator's core claim:
+// the window-terminal scaling exponent tracks the requested Rent
+// exponent, and ordering is preserved across exponents.
+func TestRentExponentRealized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a 40k-cell instance")
+	}
+	slopes := make([]float64, 0, 3)
+	for _, p := range []float64{0.5, 0.65, 0.8} {
+		g, err := GenerateRent(RentParams{
+			Cells: 40000, PrimaryIn: 64, PrimaryOut: 32, Rent: p, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := rentSlope(t, g, 64, 1024)
+		if math.Abs(s-p) > 0.15 {
+			t.Errorf("requested Rent %.2f, realized slope %.3f (tolerance 0.15)", p, s)
+		}
+		slopes = append(slopes, s)
+	}
+	for i := 1; i < len(slopes); i++ {
+		if slopes[i] <= slopes[i-1] {
+			t.Fatalf("realized slopes not increasing with requested exponent: %v", slopes)
+		}
+	}
+}

@@ -22,6 +22,12 @@ type Options struct {
 	Rounds int
 	// MaxClusterArea caps a super-cell's total area (default 8).
 	MaxClusterArea int
+	// MaxClusterOutputs caps a super-cell's combined output count
+	// (0 = unlimited). The bound is conservative — it sums the member
+	// cells' outputs even though outputs consumed inside the cluster
+	// vanish — so downstream consumers with hard per-cell output
+	// limits (replication.State admits at most 32) can rely on it.
+	MaxClusterOutputs int
 	// MaxFanout ignores nets with more connections than this when
 	// scoring affinity (clock-like nets carry no locality). Default 16.
 	MaxFanout int
@@ -135,6 +141,10 @@ func matchRound(g *hypergraph.Graph, opts Options, r *rand.Rand) []int {
 		bestW := 0.0
 		for v, w := range weights {
 			if g.Cells[u].Area+g.Cells[v].Area > opts.MaxClusterArea {
+				continue
+			}
+			if opts.MaxClusterOutputs > 0 &&
+				len(g.Cells[u].Outputs)+len(g.Cells[v].Outputs) > opts.MaxClusterOutputs {
 				continue
 			}
 			if w > bestW || (w == bestW && best >= 0 && v < best) {

@@ -50,6 +50,14 @@ type Options struct {
 	// Refine runs the pairwise k-way refinement sweep on the winning
 	// solution (extension; see kway.Refine).
 	Refine bool
+	// Multilevel routes large carve subproblems through the multilevel
+	// V-cycle (coarsen → partition → uncoarsen+refine; see
+	// internal/multilevel and kway.Options.Multilevel). Off by
+	// default; the flat path is byte-identical to the classic engine.
+	Multilevel bool
+	// Workers bounds the search worker pool (0 = one per CPU). Fixed-
+	// seed results are identical regardless of the value.
+	Workers int
 	// Verify runs the partition verifier in-loop on every accepted
 	// carve and every feasible solution (see kway.Options.Verify).
 	Verify bool
@@ -113,15 +121,17 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		defer cancel()
 	}
 	kopts := kway.Options{
-		Library:   opts.Library,
-		Threshold: opts.Threshold,
-		Solutions: opts.Solutions,
-		Verify:    opts.Verify,
-		MaxStale:  opts.MaxStale,
-		Trace:     opts.Trace,
-		Inject:    opts.Inject,
-		Now:       opts.Now,
-		Seed:      opts.Seed,
+		Library:    opts.Library,
+		Threshold:  opts.Threshold,
+		Solutions:  opts.Solutions,
+		Multilevel: opts.Multilevel,
+		Workers:    opts.Workers,
+		Verify:     opts.Verify,
+		MaxStale:   opts.MaxStale,
+		Trace:      opts.Trace,
+		Inject:     opts.Inject,
+		Now:        opts.Now,
+		Seed:       opts.Seed,
 	}
 	res, err := kway.PartitionContext(ctx, g, kopts)
 	if err != nil {

@@ -1,0 +1,140 @@
+package kway_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/kway"
+	"fpgapart/internal/library"
+	"fpgapart/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden flat-path fixtures")
+
+// goldenClock advances one millisecond per reading, so trace durations
+// are deterministic without touching the wall clock.
+func goldenClock() func() time.Time {
+	var mu sync.Mutex
+	t0 := time.Unix(1_700_000_000, 0)
+	step := 0
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		step++
+		return t0.Add(time.Duration(step) * time.Millisecond)
+	}
+}
+
+// goldenRender flattens a result to canonical bytes: each part's
+// device name plus the materialized subcircuit text.
+func goldenRender(t *testing.T, res kway.Result) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, p := range res.Parts {
+		sb.WriteString(p.Device.Name)
+		sb.WriteByte('\n')
+		if err := hypergraph.Write(&sb, p.Graph); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.String()
+}
+
+// goldenTrace serializes recorded events as JSONL after a stable sort
+// on attempt (engine-level attempt −1 events last), which makes the
+// stream independent of the interleaving between the worker and the
+// reducing goroutine.
+func goldenTrace(t *testing.T, rec *trace.Recorder) string {
+	t.Helper()
+	events := rec.Events()
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i].Attempt, events[j].Attempt
+		if a == -1 {
+			a = int(^uint(0) >> 1)
+		}
+		if b == -1 {
+			b = int(^uint(0) >> 1)
+		}
+		return a < b
+	})
+	var buf bytes.Buffer
+	j := trace.NewJSONL(&buf)
+	for _, e := range events {
+		j.Event(e)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run go test -run TestFlatPathGolden -update): %v", err)
+	}
+	if string(want) != got {
+		t.Fatalf("%s drifted from the committed golden fixture.\nThe flat path (Options.Multilevel=false) must stay byte-identical to the seed engine;\nif the change is intentional, regenerate with -update.\n--- got (first 2000 bytes) ---\n%.2000s", name, got)
+	}
+}
+
+func goldenRun(t *testing.T, opts kway.Options) (kway.Result, *trace.Recorder) {
+	t.Helper()
+	g, err := bench.Generate(bench.Params{Cells: 400, PrimaryIn: 12, PrimaryOut: 8, Seed: 3, Clustering: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	opts.Library = library.XC3000()
+	opts.Solutions = 6
+	opts.Seed = 11
+	opts.Workers = 1 // single worker: the trace stream is sequential
+	opts.Trace = rec
+	opts.Now = goldenClock()
+	res, err := kway.Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+// TestFlatPathGolden pins the classic engine byte-for-byte: a
+// fixed-seed search with Options.Multilevel=false must reproduce the
+// committed partition rendering AND the committed JSONL trace stream
+// exactly. This is the regression gate proving the multilevel wiring
+// left the default path untouched.
+func TestFlatPathGolden(t *testing.T) {
+	res, rec := goldenRun(t, kway.Options{})
+	goldenCompare(t, "flat_golden_result.txt", goldenRender(t, res))
+	goldenCompare(t, "flat_golden_trace.jsonl", goldenTrace(t, rec))
+}
+
+// TestMultilevelGateIsInert proves the gate itself cannot perturb the
+// flat path: with Multilevel=true but MultilevelMinCells above the
+// circuit size, the V-cycle never engages and both the partition and
+// the trace stream stay byte-identical to the flat golden fixtures.
+func TestMultilevelGateIsInert(t *testing.T) {
+	res, rec := goldenRun(t, kway.Options{Multilevel: true, MultilevelMinCells: 1 << 20})
+	goldenCompare(t, "flat_golden_result.txt", goldenRender(t, res))
+	goldenCompare(t, "flat_golden_trace.jsonl", goldenTrace(t, rec))
+}

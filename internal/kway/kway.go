@@ -29,6 +29,7 @@ import (
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/library"
 	"fpgapart/internal/metrics"
+	"fpgapart/internal/multilevel"
 	"fpgapart/internal/replication"
 	"fpgapart/internal/search"
 	"fpgapart/internal/trace"
@@ -49,6 +50,24 @@ type Options struct {
 	Retries int
 	// MaxPasses caps FM passes per carve (default: engine default).
 	MaxPasses int
+	// Multilevel routes large carve subproblems through the
+	// internal/multilevel V-cycle: the carve's initial assignment is
+	// produced by coarsen → partition → uncoarsen+refine instead of a
+	// single cluster-grown seed, and the usual replication-FM run then
+	// acts as the finest-level refinement pass. Off by default; the
+	// flat path is byte-identical to the pre-multilevel engine (see
+	// TestFlatPathGolden).
+	Multilevel bool
+	// MultilevelMinCells gates the V-cycle: subcircuits with fewer
+	// cells use the flat cluster-grown assignment even when Multilevel
+	// is on (coarsening tiny carve remainders costs more than it
+	// saves). Default 512.
+	MultilevelMinCells int
+	// Workers bounds the solution search's worker pool (0 = one per
+	// CPU). Results are byte-identical for a fixed seed regardless of
+	// the value; it exists to bound resource use and to let tests pin
+	// the trace-event interleaving.
+	Workers int
 	// Verify enables in-loop invariant checking: every accepted carve
 	// is checked against its subcircuit (state invariants, cell
 	// coverage, single producer, IOB span accounting) and every
@@ -139,11 +158,20 @@ func (o Options) withDefaults() (Options, error) {
 	if o.MaxStale < 0 {
 		return o, fmt.Errorf("kway: MaxStale must be non-negative, got %d", o.MaxStale)
 	}
+	if o.MultilevelMinCells < 0 {
+		return o, fmt.Errorf("kway: MultilevelMinCells must be non-negative, got %d", o.MultilevelMinCells)
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("kway: Workers must be non-negative, got %d", o.Workers)
+	}
 	if o.Solutions == 0 {
 		o.Solutions = 50
 	}
 	if o.Retries == 0 {
 		o.Retries = 20
+	}
+	if o.MultilevelMinCells == 0 {
+		o.MultilevelMinCells = 512
 	}
 	return o, nil
 }
@@ -340,6 +368,7 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 	}
 	out, serr := search.Run(ctx, search.Options{
 		Attempts:   opts.Solutions,
+		Workers:    opts.Workers,
 		Seed:       opts.Seed,
 		SeedStride: seedStride,
 		MaxStale:   opts.MaxStale,
@@ -667,7 +696,34 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 		TraceAttempt: attempt,
 		Inject:       opts.Inject,
 	}
-	sc.assign = sc.cluster.AssignInto(sc.assign, sub, seed, -1, target)
+	// The initial assignment: flat cluster growth by default; behind
+	// Options.Multilevel, large subcircuits go through the V-cycle
+	// (coarsen → coarsest partition → uncoarsen+refine), whose output
+	// lands inside the exact carve window. The replication-FM run
+	// below is then the finest-level refinement pass. A V-cycle
+	// failure (e.g. no feasible coarsest assignment) falls back to the
+	// flat seed rather than rejecting the carve.
+	flatSeed := true
+	if opts.Multilevel && sub.NumCells() >= opts.MultilevelMinCells {
+		ml, mlErr := multilevel.Run(sub, multilevel.Config{
+			TargetArea:   target,
+			MinArea:      cfg.MinArea,
+			MaxArea:      cfg.MaxArea,
+			PinExternal:  pinTerminals,
+			MaxPasses:    opts.MaxPasses,
+			Seed:         seed,
+			Trace:        opts.Trace,
+			TraceAttempt: attempt,
+			Now:          opts.Now,
+		})
+		if mlErr == nil {
+			sc.assign = append(sc.assign[:0], ml.Assign...)
+			flatSeed = false
+		}
+	}
+	if flatSeed {
+		sc.assign = sc.cluster.AssignInto(sc.assign, sub, seed, -1, target)
+	}
 	var st *replication.State
 	if sc.st != nil && sc.st.Graph() == sub {
 		// Retry on the same subcircuit: rebind the existing state's

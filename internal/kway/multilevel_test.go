@@ -1,0 +1,75 @@
+package kway_test
+
+import (
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/kway"
+	"fpgapart/internal/library"
+)
+
+// TestMultilevelPartitionVerifies is the engine-level differential:
+// the same medium circuit partitioned flat and through the V-cycle
+// (MultilevelMinCells lowered so real carves route through it). The
+// multilevel result must pass the full verifier and its device cost
+// must stay within a fixed tolerance of the flat engine's.
+func TestMultilevelPartitionVerifies(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		g, err := bench.Generate(bench.Params{
+			Cells: 900, PrimaryIn: 20, PrimaryOut: 12, Seed: seed, Clustering: 0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := kway.Options{Library: library.XC3000(), Solutions: 6, Seed: 7, Verify: true}
+		flat, err := kway.Partition(g, opts)
+		if err != nil {
+			t.Fatalf("seed %d: flat: %v", seed, err)
+		}
+		opts.Multilevel = true
+		opts.MultilevelMinCells = 200
+		ml, err := kway.Partition(g, opts)
+		if err != nil {
+			t.Fatalf("seed %d: multilevel: %v", seed, err)
+		}
+		if err := ml.Verify(g); err != nil {
+			t.Fatalf("seed %d: multilevel result failed verification: %v", seed, err)
+		}
+		fc, mc := flat.Summary.DeviceCost(), ml.Summary.DeviceCost()
+		t.Logf("seed %d: flat cost %.0f (k=%d), multilevel cost %.0f (k=%d)",
+			seed, fc, flat.Summary.K(), mc, ml.Summary.K())
+		// Fixed tolerance: the V-cycle seeds different carves, so costs
+		// differ, but never by more than 25%.
+		if mc > fc*1.25 {
+			t.Fatalf("seed %d: multilevel cost %.0f worse than flat %.0f beyond 25%% tolerance", seed, mc, fc)
+		}
+	}
+}
+
+// TestMultilevelDeterministicAcrossWorkers pins the Workers contract
+// through the whole engine with the V-cycle enabled: fixed-seed runs
+// must agree regardless of pool size.
+func TestMultilevelDeterministicAcrossWorkers(t *testing.T) {
+	g, err := bench.Generate(bench.Params{
+		Cells: 700, PrimaryIn: 16, PrimaryOut: 10, Seed: 5, Clustering: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := kway.Options{
+		Library: library.XC3000(), Solutions: 4, Seed: 9,
+		Multilevel: true, MultilevelMinCells: 200,
+	}
+	a, err := kway.Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 3
+	b, err := kway.Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra, rb := goldenRender(t, a), goldenRender(t, b); ra != rb {
+		t.Fatal("multilevel partition diverged across worker counts")
+	}
+}

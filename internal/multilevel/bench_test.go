@@ -1,0 +1,27 @@
+package multilevel
+
+import (
+	"testing"
+
+	"fpgapart/internal/fm"
+)
+
+// BenchmarkRun samples the full V-cycle at a reduced scale (the 10⁵
+// trajectory point lives in benchtables -benchjson; this keeps the CI
+// bench-smoke sweep fast).
+func BenchmarkRun(b *testing.B) {
+	g := circuit(b, 3000, 7)
+	minA, maxA := fm.Balance(g.TotalArea(), 0.1)
+	cfg := Config{
+		TargetArea: g.TotalArea() / 2,
+		MinArea:    minA, MaxArea: maxA,
+		Starts: 1, Seed: 3,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package multilevel
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/cluster"
+	"fpgapart/internal/replication"
+)
+
+// FuzzCoarsenUncoarsen drives the coarsen→project round-trip the
+// V-cycle is built on, over randomized circuits and cluster caps, and
+// asserts the conservation laws multilevel correctness depends on:
+// every original cell appears in exactly one cluster, coarse
+// area/DFF totals match the flat graph, the original graph is left
+// untouched (including replica flags), and projecting any feasible
+// coarse assignment yields a flat assignment with byte-identical
+// block areas — so a coarse solution inside a device's area window
+// stays inside it after projection.
+func FuzzCoarsenUncoarsen(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(4), uint8(24), uint8(2))
+	f.Add(int64(7), uint8(90), uint8(2), uint8(8), uint8(1))
+	f.Add(int64(42), uint8(200), uint8(10), uint8(0), uint8(3))
+	f.Add(int64(9), uint8(12), uint8(3), uint8(30), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, cells, capArea, capOut, rounds uint8) {
+		nCells := 4 + int(cells)
+		g, err := bench.Generate(bench.Params{
+			Cells: nCells, PrimaryIn: 6, PrimaryOut: 3,
+			Clustering: float64(seed%7) / 10, Seed: seed,
+		})
+		if err != nil {
+			t.Skip() // degenerate parameter combination
+		}
+		// Mark a few replica flags so "round trip leaves the flat graph
+		// untouched" covers them.
+		r := rand.New(rand.NewSource(seed))
+		wantReplica := make([]bool, g.NumCells())
+		for i := range wantReplica {
+			if r.Intn(8) == 0 {
+				wantReplica[i] = true
+				g.Cells[i].Replica = true
+			}
+		}
+		wantArea, wantDFFs := g.TotalArea(), 0
+		for i := range g.Cells {
+			wantDFFs += g.Cells[i].DFFs
+		}
+
+		cl, err := cluster.Build(g, cluster.Options{
+			Rounds:            1 + int(rounds%3),
+			MaxClusterArea:    1 + int(capArea%12),
+			MaxClusterOutputs: int(capOut % 40),
+			Seed:              seed,
+		})
+		if err != nil {
+			t.Skip() // e.g. a cluster with no surviving outputs
+		}
+
+		// Members must partition the original cells exactly.
+		seen := make([]int, g.NumCells())
+		coarseArea, coarseDFFs := 0, 0
+		for ci, ms := range cl.Members {
+			if len(ms) == 0 {
+				t.Fatalf("cluster %d is empty", ci)
+			}
+			for _, m := range ms {
+				if int(m) >= g.NumCells() {
+					t.Fatalf("cluster %d member %d outside the graph", ci, m)
+				}
+				seen[m]++
+			}
+			sum := 0
+			for _, m := range ms {
+				sum += g.Cells[m].Area
+			}
+			if a := cl.Graph.Cells[ci].Area; a != sum {
+				t.Fatalf("cluster %d area %d, members sum %d", ci, a, sum)
+			}
+			coarseArea += cl.Graph.Cells[ci].Area
+			coarseDFFs += cl.Graph.Cells[ci].DFFs
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("cell %d appears in %d clusters", i, n)
+			}
+		}
+		if coarseArea != wantArea || coarseDFFs != wantDFFs {
+			t.Fatalf("coarse totals area=%d dffs=%d, flat totals area=%d dffs=%d",
+				coarseArea, coarseDFFs, wantArea, wantDFFs)
+		}
+		// The flat graph must be untouched, replica flags included.
+		if g.NumCells() != len(wantReplica) || g.TotalArea() != wantArea {
+			t.Fatal("coarsening mutated the flat graph")
+		}
+		for i := range g.Cells {
+			if g.Cells[i].Replica != wantReplica[i] {
+				t.Fatalf("coarsening flipped replica flag on cell %d", i)
+			}
+		}
+
+		// Any coarse assignment projects to a flat assignment with the
+		// same block areas — the feasibility-preservation contract.
+		coarse := make([]replication.Block, cl.Graph.NumCells())
+		for i := range coarse {
+			coarse[i] = replication.Block(r.Intn(2))
+		}
+		flat, err := cl.Project(coarse, g.NumCells())
+		if err != nil {
+			t.Fatalf("project: %v", err)
+		}
+		var wantBlocks, gotBlocks [2]int
+		for ci, b := range coarse {
+			wantBlocks[b] += cl.Graph.Cells[ci].Area
+		}
+		for ci, b := range flat {
+			gotBlocks[b] += g.Cells[ci].Area
+		}
+		if wantBlocks != gotBlocks {
+			t.Fatalf("projection changed block areas: coarse %v, flat %v", wantBlocks, gotBlocks)
+		}
+		// The projected assignment must build a valid replication state
+		// (every cell placed, invariants hold) with the same areas.
+		st, err := replication.NewState(g, flat)
+		if err != nil {
+			t.Fatalf("projected assignment rejected: %v", err)
+		}
+		if st.Area(0) != gotBlocks[0] || st.Area(1) != gotBlocks[1] {
+			t.Fatalf("state areas [%d %d], want %v", st.Area(0), st.Area(1), gotBlocks)
+		}
+	})
+}

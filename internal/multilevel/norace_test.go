@@ -1,0 +1,5 @@
+//go:build !race
+
+package multilevel
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package multilevel
+
+// raceEnabled reports whether the race detector is active, so the
+// acceptance-scale tests can skip: a 10⁵-cell instance under the race
+// runtime takes minutes without adding interleaving coverage beyond
+// what the medium instances already exercise.
+const raceEnabled = true

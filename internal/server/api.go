@@ -37,6 +37,9 @@ type JobRequest struct {
 	Solutions int   `json:"solutions,omitempty"`
 	Seed      int64 `json:"seed,omitempty"`
 	MaxStale  int   `json:"max_stale,omitempty"`
+	// Multilevel routes large carve subproblems through the multilevel
+	// V-cycle (see core.Options.Multilevel). Off by default.
+	Multilevel bool `json:"multilevel,omitempty"`
 	// TimeoutMS bounds the search wall clock (0 = server default,
 	// capped at the server maximum).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -210,11 +213,12 @@ func (s *Server) parseRequest(req *JobRequest) (*hypergraph.Graph, core.Options,
 		return nil, core.Options{}, 0, fmt.Errorf("unknown format %q (want \"clb\" or \"gnl\")", req.Format)
 	}
 	opts := core.Options{
-		Library:   s.cfg.Library,
-		Solutions: req.Solutions,
-		Seed:      req.Seed,
-		MaxStale:  req.MaxStale,
-		Inject:    s.cfg.Inject,
+		Library:    s.cfg.Library,
+		Solutions:  req.Solutions,
+		Seed:       req.Seed,
+		MaxStale:   req.MaxStale,
+		Multilevel: req.Multilevel,
+		Inject:     s.cfg.Inject,
 	}
 	if req.Threshold != nil {
 		opts.Threshold = *req.Threshold
@@ -278,6 +282,13 @@ func decodeRequest(r *http.Request) (*JobRequest, error) {
 			return nil, fmt.Errorf("bad threshold %q", v)
 		}
 		req.Threshold = &n
+	}
+	if v := q.Get("multilevel"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad multilevel %q", v)
+		}
+		req.Multilevel = b
 	}
 	if v := q.Get("timeout_ms"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)

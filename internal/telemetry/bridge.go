@@ -20,6 +20,9 @@ const (
 	MetricImproved       = "fpgapart_solutions_improved_total"
 	MetricPanics         = "fpgapart_attempt_panics_total"
 	MetricPhaseSeconds   = "fpgapart_phase_seconds"
+	MetricLevels         = "fpgapart_multilevel_levels_total"
+	MetricLevelCells     = "fpgapart_multilevel_level_cells"
+	MetricLevelCut       = "fpgapart_multilevel_cut_after_refine"
 )
 
 // rejectReasons are the static carve-rejection codes emitted by the
@@ -34,6 +37,7 @@ var rejectReasons = []string{
 // "other".
 var phaseNames = []string{
 	trace.PhaseParse, trace.PhaseSearch, trace.PhaseVerify, trace.PhaseFold,
+	trace.PhaseCoarsen, trace.PhaseUncoarsen,
 }
 
 // Bridge adapts the engine's trace stream (internal/trace) into
@@ -64,6 +68,10 @@ type Bridge struct {
 	panics     *Counter
 	phase      map[string]*Histogram
 	phaseOther *Histogram
+
+	levels     *Counter
+	levelCells *Histogram
+	levelCut   *Histogram
 }
 
 // NewBridge registers the engine metric families on r and returns the
@@ -83,6 +91,9 @@ func NewBridge(r *Registry) *Bridge {
 		improved:      r.Counter(MetricImproved, "Feasible solutions that became the incumbent best."),
 		panics:        r.Counter(MetricPanics, "Solution attempts that died to a contained panic."),
 		phase:         make(map[string]*Histogram, len(phaseNames)),
+		levels:        r.Counter(MetricLevels, "Completed uncoarsening levels of multilevel runs."),
+		levelCells:    r.Histogram(MetricLevelCells, "Coarse cell count per completed uncoarsening level.", ExpBuckets(1, 4, 12)),
+		levelCut:      r.Histogram(MetricLevelCut, "Cut size after each level's FM refinement.", ExpBuckets(1, 2, 13)),
 	}
 	rej := r.CounterVec(MetricCarveRejected, "Carve attempts rejected, by static rejection code.", "reason")
 	for _, reason := range rejectReasons {
@@ -134,5 +145,9 @@ func (b *Bridge) Event(e trace.Event) {
 			h = b.phaseOther
 		}
 		h.Observe(e.Dur.Seconds())
+	case trace.KindLevel:
+		b.levels.Inc()
+		b.levelCells.Observe(float64(e.Cells))
+		b.levelCut.Observe(float64(e.Cut))
 	}
 }

@@ -48,14 +48,22 @@ const (
 	// observability sinks — never search decisions — so fixed-seed
 	// results are byte-identical with or without phase tracing.
 	KindPhase
+	// KindLevel marks the completion of one uncoarsening level of the
+	// multilevel V-cycle: Level is the hierarchy depth (0 = finest),
+	// Cells the level's coarse cell count, Cut the cut after the
+	// level's FM refinement, Area the block-0 area, Moves/Pass the FM
+	// work the refinement took.
+	KindLevel
 )
 
 // Phase names carried by KindPhase events.
 const (
-	PhaseParse  = "parse"  // reading/parsing the input circuit
-	PhaseSearch = "search" // the whole multi-start carve search
-	PhaseVerify = "verify" // in-loop solution verification (per attempt)
-	PhaseFold   = "fold"   // remap + assembly of one attempt's solution
+	PhaseParse     = "parse"     // reading/parsing the input circuit
+	PhaseSearch    = "search"    // the whole multi-start carve search
+	PhaseVerify    = "verify"    // in-loop solution verification (per attempt)
+	PhaseFold      = "fold"      // remap + assembly of one attempt's solution
+	PhaseCoarsen   = "coarsen"   // building the multilevel cluster hierarchy
+	PhaseUncoarsen = "uncoarsen" // projection + per-level refinement sweep
 )
 
 // String returns the JSONL event-type tag.
@@ -71,6 +79,8 @@ func (k Kind) String() string {
 		return "solution"
 	case KindPhase:
 		return "phase"
+	case KindLevel:
+		return "level"
 	default:
 		return "unknown"
 	}
@@ -107,6 +117,10 @@ type Event struct {
 	// duration.
 	Phase string
 	Dur   time.Duration
+	// Level fields (KindLevel): the hierarchy depth (0 = finest) and
+	// the level's coarse cell count.
+	Level int
+	Cells int
 }
 
 // Sink receives events. Implementations must be safe for concurrent
@@ -135,6 +149,8 @@ type Counters struct {
 	// Solutions and Feasible count folded solution attempts; Panics
 	// counts the folded attempts that died to a contained panic.
 	Solutions, Feasible, Panics int64
+	// Levels counts completed uncoarsening levels of multilevel runs.
+	Levels int64
 }
 
 // Agg is a Sink that aggregates events into Counters with atomic
@@ -143,6 +159,7 @@ type Agg struct {
 	moves, passes, carves, rejected int64
 	replicas, rollbacks             int64
 	solutions, feasible, panics     int64
+	levels                          int64
 }
 
 // Event implements Sink.
@@ -167,6 +184,8 @@ func (a *Agg) Event(e Event) {
 		if e.Panic {
 			atomic.AddInt64(&a.panics, 1)
 		}
+	case KindLevel:
+		atomic.AddInt64(&a.levels, 1)
 	}
 }
 
@@ -182,6 +201,7 @@ func (a *Agg) Snapshot() Counters {
 		Solutions:      atomic.LoadInt64(&a.solutions),
 		Feasible:       atomic.LoadInt64(&a.feasible),
 		Panics:         atomic.LoadInt64(&a.panics),
+		Levels:         atomic.LoadInt64(&a.levels),
 	}
 }
 
@@ -251,6 +271,13 @@ func (j *JSONL) Event(e Event) {
 		b = appendStringField(b, "phase", e.Phase)
 		b = append(b, `,"dur_ns":`...)
 		b = strconv.AppendInt(b, int64(e.Dur), 10)
+	case KindLevel:
+		b = appendIntField(b, "level", e.Level)
+		b = appendIntField(b, "cells", e.Cells)
+		b = appendIntField(b, "area", e.Area)
+		b = appendIntField(b, "cut", e.Cut)
+		b = appendIntField(b, "moves", e.Moves)
+		b = appendIntField(b, "passes", e.Pass)
 	}
 	b = append(b, '}', '\n')
 	j.buf = b
