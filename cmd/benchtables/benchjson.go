@@ -125,6 +125,96 @@ func multilevelBench() (multilevelPoint, error) {
 	}, nil
 }
 
+// parfmPoint is the refinement-engine trajectory sample: the classic
+// serial FM engine against the deterministic parallel sub-round engine
+// (internal/parfm, fm.Config.RefineWorkers >= 2) at several worker
+// counts, all refining the same fixed-seed 10⁵-cell Rent's-rule
+// instance from the same initial assignment. The cut columns are
+// deterministic, and the parallel engine reaches one cut for every
+// worker count by construction; only the timing columns move as the
+// engines change.
+type parfmPoint struct {
+	Name          string             `json:"name"`
+	Circuit       string             `json:"circuit"`
+	Cells         int                `json:"cells"`
+	Rent          float64            `json:"rent"`
+	Seed          int64              `json:"seed"`
+	SerialNsPerOp int64              `json:"serial_ns_per_op"`
+	SerialCut     int                `json:"serial_cut"`
+	Workers       []parfmWorkerPoint `json:"workers"`
+}
+
+type parfmWorkerPoint struct {
+	Workers int   `json:"workers"`
+	NsPerOp int64 `json:"ns_per_op"`
+	Cut     int   `json:"cut"`
+}
+
+// parfmBench samples one refinement attempt per engine on the 10⁵-cell
+// instance, resetting to the same initial assignment each iteration.
+func parfmBench() (parfmPoint, error) {
+	g, err := bench.GenerateRent(bench.RentParams{
+		Cells: mlCells, PrimaryIn: 200, PrimaryOut: 100, Rent: mlRent, Seed: mlSeed,
+	})
+	if err != nil {
+		return parfmPoint{}, err
+	}
+	assign := fm.RandomAssign(g, mlSeed)
+	minA, maxA := fm.Balance(g.TotalArea(), 0.10)
+	st, err := replication.NewState(g, assign)
+	if err != nil {
+		return parfmPoint{}, err
+	}
+	run := func(workers int) (int64, int, error) {
+		var cut int
+		var runErr error
+		var r fm.Runner
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := st.Reset(assign); err != nil {
+					runErr = err
+					return
+				}
+				out, err := r.Run(st, fm.Config{
+					MinArea: minA, MaxArea: maxA,
+					Threshold: fm.NoReplication, Seed: mlSeed,
+					RefineWorkers: workers,
+				})
+				if err != nil {
+					runErr = err
+					return
+				}
+				cut = out.Cut
+			}
+		})
+		if runErr != nil {
+			return 0, 0, runErr
+		}
+		return res.NsPerOp(), cut, nil
+	}
+	serialNs, serialCut, err := run(0)
+	if err != nil {
+		return parfmPoint{}, err
+	}
+	p := parfmPoint{
+		Name:          "parfm_refine_100k",
+		Circuit:       g.Name,
+		Cells:         g.NumCells(),
+		Rent:          mlRent,
+		Seed:          mlSeed,
+		SerialNsPerOp: serialNs,
+		SerialCut:     serialCut,
+	}
+	for _, workers := range []int{2, 4, 8} {
+		ns, cut, err := run(workers)
+		if err != nil {
+			return parfmPoint{}, err
+		}
+		p.Workers = append(p.Workers, parfmWorkerPoint{Workers: workers, NsPerOp: ns, Cut: cut})
+	}
+	return p, nil
+}
+
 // writeBenchJSON samples the two engine hot paths (one FM
 // bipartitioning run, one full k-way search) and records them as
 // BENCH_fm.json and BENCH_kway.json in dir. The seed is pinned so the
@@ -174,6 +264,11 @@ func writeBenchJSON(dir string) error {
 		return err
 	}
 
+	pfPoint, err := parfmBench()
+	if err != nil {
+		return err
+	}
+
 	points := []struct {
 		file  string
 		point any
@@ -181,6 +276,7 @@ func writeBenchJSON(dir string) error {
 		{"BENCH_fm.json", point("fm_bipartition", fmRes, cut, 0)},
 		{"BENCH_kway.json", point("kway_partition", kwayRes, 0, cost)},
 		{"BENCH_multilevel.json", mlPoint},
+		{"BENCH_parfm.json", pfPoint},
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err

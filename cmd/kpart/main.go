@@ -51,6 +51,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print the solution summary as JSON")
 	timeout := flag.Duration("timeout", 0, "wall-clock search budget (0 = unlimited); on expiry the best solution so far is kept")
 	maxStale := flag.Int("max-stale", 0, "stop after this many consecutive non-improving solutions (0 = run all)")
+	refineWorkers := flag.Int("refine-workers", 0, "FM refinement workers: >=2 runs the deterministic parallel sub-round engine, 0 or 1 the classic serial engine")
 	multilevel := flag.Bool("multilevel", false, "seed large carve subproblems with the multilevel V-cycle (coarsen, partition, uncoarsen+refine)")
 	progress := flag.Bool("progress", false, "print per-solution progress and search statistics to stderr")
 	statsJSON := flag.String("stats-json", "", "stream structured engine events (FM passes, carves, solutions) as JSONL to this file")
@@ -79,21 +80,22 @@ exit codes:
 		os.Exit(1)
 	}
 	err = run(runConfig{
-		path:       flag.Arg(0),
-		threshold:  *threshold,
-		solutions:  *solutions,
-		seed:       *seed,
-		gate:       *gate || strings.HasSuffix(flag.Arg(0), ".gnl"),
-		verbose:    *verbose,
-		check:      *check,
-		outDir:     *outDir,
-		jsonOut:    *jsonOut,
-		timeout:    *timeout,
-		maxStale:   *maxStale,
-		multilevel: *multilevel,
-		progress:   *progress,
-		statsJSON:  *statsJSON,
-		metricsOut: *metricsOut,
+		path:          flag.Arg(0),
+		threshold:     *threshold,
+		solutions:     *solutions,
+		seed:          *seed,
+		gate:          *gate || strings.HasSuffix(flag.Arg(0), ".gnl"),
+		verbose:       *verbose,
+		check:         *check,
+		outDir:        *outDir,
+		jsonOut:       *jsonOut,
+		timeout:       *timeout,
+		maxStale:      *maxStale,
+		multilevel:    *multilevel,
+		refineWorkers: *refineWorkers,
+		progress:      *progress,
+		statsJSON:     *statsJSON,
+		metricsOut:    *metricsOut,
 	})
 	if perr := stopProf(); err == nil {
 		err = perr
@@ -125,21 +127,22 @@ func exitCode(err error) int {
 }
 
 type runConfig struct {
-	path       string
-	threshold  int
-	solutions  int
-	seed       int64
-	gate       bool
-	verbose    bool
-	check      bool
-	outDir     string
-	jsonOut    bool
-	timeout    time.Duration
-	maxStale   int
-	multilevel bool
-	progress   bool
-	statsJSON  string
-	metricsOut string
+	path          string
+	threshold     int
+	solutions     int
+	seed          int64
+	gate          bool
+	verbose       bool
+	check         bool
+	outDir        string
+	jsonOut       bool
+	timeout       time.Duration
+	maxStale      int
+	multilevel    bool
+	refineWorkers int
+	progress      bool
+	statsJSON     string
+	metricsOut    string
 }
 
 // progressSink prints one stderr line per folded solution attempt.
@@ -218,14 +221,15 @@ func run(cfg runConfig) error {
 		sink.Event(trace.Event{Kind: trace.KindPhase, Attempt: -1, Phase: trace.PhaseParse, Dur: time.Since(parseStart)})
 	}
 	res, err := core.Partition(g, core.Options{
-		Threshold:  cfg.threshold,
-		Solutions:  cfg.solutions,
-		Seed:       cfg.seed,
-		Verify:     cfg.check,
-		Timeout:    cfg.timeout,
-		MaxStale:   cfg.maxStale,
-		Multilevel: cfg.multilevel,
-		Trace:      sink,
+		Threshold:     cfg.threshold,
+		Solutions:     cfg.solutions,
+		Seed:          cfg.seed,
+		Verify:        cfg.check,
+		Timeout:       cfg.timeout,
+		MaxStale:      cfg.maxStale,
+		Multilevel:    cfg.multilevel,
+		RefineWorkers: cfg.refineWorkers,
+		Trace:         sink,
 	})
 	if agg != nil {
 		c := agg.Snapshot()

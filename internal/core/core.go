@@ -58,6 +58,12 @@ type Options struct {
 	// Workers bounds the search worker pool (0 = one per CPU). Fixed-
 	// seed results are identical regardless of the value.
 	Workers int
+	// RefineWorkers selects the FM refinement engine inside every
+	// attempt: >= 2 uses the deterministic parallel sub-round engine
+	// (package parfm) with that many proposal workers, 0 or 1 the
+	// classic serial engine (byte-identical to previous releases).
+	// Fixed-seed results are identical for any value >= 2.
+	RefineWorkers int
 	// Verify runs the partition verifier in-loop on every accepted
 	// carve and every feasible solution (see kway.Options.Verify).
 	Verify bool
@@ -121,17 +127,18 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		defer cancel()
 	}
 	kopts := kway.Options{
-		Library:    opts.Library,
-		Threshold:  opts.Threshold,
-		Solutions:  opts.Solutions,
-		Multilevel: opts.Multilevel,
-		Workers:    opts.Workers,
-		Verify:     opts.Verify,
-		MaxStale:   opts.MaxStale,
-		Trace:      opts.Trace,
-		Inject:     opts.Inject,
-		Now:        opts.Now,
-		Seed:       opts.Seed,
+		Library:       opts.Library,
+		Threshold:     opts.Threshold,
+		Solutions:     opts.Solutions,
+		Multilevel:    opts.Multilevel,
+		Workers:       opts.Workers,
+		RefineWorkers: opts.RefineWorkers,
+		Verify:        opts.Verify,
+		MaxStale:      opts.MaxStale,
+		Trace:         opts.Trace,
+		Inject:        opts.Inject,
+		Now:           opts.Now,
+		Seed:          opts.Seed,
 	}
 	res, err := kway.PartitionContext(ctx, g, kopts)
 	if err != nil {
@@ -171,7 +178,9 @@ type BipartitionOptions struct {
 	Balance float64
 	// Starts is the number of random initial partitions (default 1).
 	Starts int
-	Seed   int64
+	// RefineWorkers selects the FM engine (see Options.RefineWorkers).
+	RefineWorkers int
+	Seed          int64
 }
 
 // MinCutBipartition reproduces the paper's first experiment on one
@@ -188,6 +197,7 @@ func MinCutBipartition(g *hypergraph.Graph, opts BipartitionOptions) (*replicati
 		Config: fm.Config{
 			MinArea: minA, MaxArea: maxA,
 			Threshold: opts.Threshold, Seed: opts.Seed,
+			RefineWorkers: opts.RefineWorkers,
 		},
 		Starts: opts.Starts,
 	})

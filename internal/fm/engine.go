@@ -20,6 +20,7 @@ import (
 
 	"fpgapart/internal/faultinject"
 	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/parfm"
 	"fpgapart/internal/replication"
 	"fpgapart/internal/trace"
 )
@@ -39,6 +40,16 @@ type Config struct {
 	Threshold int
 	// MaxPasses caps FM passes (default 24).
 	MaxPasses int
+	// RefineWorkers selects the refinement engine. Values >= 2 run the
+	// deterministic parallel sub-round engine (package parfm) with
+	// that many proposal workers; 0 or 1 run the classic serial engine
+	// and are byte-identical to previous releases, traces included.
+	// The parallel engine is equally deterministic — the partition is
+	// identical for every RefineWorkers value >= 2 and independent of
+	// GOMAXPROCS — but its pass schedule differs from the serial
+	// engine's, so the two classes reach different (equally valid)
+	// partitions from the same seed.
+	RefineWorkers int
 	// FlowRefine runs the exact max-flow replication pull
 	// (replication.OptimalPull, the paper's suggested combination with
 	// [4]) in both directions after the FM phases converge.
@@ -120,7 +131,8 @@ const (
 // is not safe for concurrent use. The package-level Run is a
 // convenience for one-shot use.
 type Runner struct {
-	e engine
+	e   engine
+	par parfm.Runner
 }
 
 // Run improves the bipartition state in place and returns the result.
@@ -175,6 +187,30 @@ func (e *engine) bind(st *replication.State) {
 // from previous runs on the same graph.
 func (r *Runner) Run(st *replication.State, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.RefineWorkers >= 2 {
+		// Parallel sub-round engine. It shares the FM phase structure
+		// and validation; only the pass scheduling differs. FlowRefine
+		// stays here so both engines compose with the max-flow pull
+		// identically.
+		pres, err := r.par.Run(st, parfm.Config{
+			MinArea: cfg.MinArea, MaxArea: cfg.MaxArea,
+			Threshold: cfg.Threshold, MaxPasses: cfg.MaxPasses,
+			Workers: cfg.RefineWorkers, Seed: cfg.Seed,
+			Trace: cfg.Trace, TraceAttempt: cfg.TraceAttempt,
+			Inject: cfg.Inject,
+		})
+		res := Result{Cut: pres.Cut, Passes: pres.Passes, Moves: pres.Moves}
+		if err != nil {
+			return res, err
+		}
+		if cfg.FlowRefine {
+			if err := flowRefine(st, cfg); err != nil {
+				return res, err
+			}
+			res.Cut = st.CutSize()
+		}
+		return res, nil
+	}
 	if cfg.MaxArea[0] <= 0 || cfg.MaxArea[1] <= 0 {
 		return Result{}, fmt.Errorf("fm: MaxArea must be positive, got %v", cfg.MaxArea)
 	}

@@ -20,8 +20,8 @@ func FuzzKway(f *testing.F) {
 	f.Add(int64(7), int8(-1), uint8(12))
 	f.Add(int64(42), int8(0), uint8(64))
 	f.Fuzz(func(t *testing.T, seed int64, threshold int8, cells uint8) {
-		n := 8 + int(cells)%57               // 8..64 cells
-		th := (int(threshold)%5+5)%5 - 1     // -1..3; -1 is fm.NoReplication
+		n := 8 + int(cells)%57           // 8..64 cells
+		th := (int(threshold)%5+5)%5 - 1 // -1..3; -1 is fm.NoReplication
 		g, err := bench.Generate(bench.Params{
 			Name: "fuzz", Cells: n, PrimaryIn: 5, PrimaryOut: 3,
 			Clustering: float64(n%4) * 0.2, Seed: seed,

@@ -138,3 +138,16 @@ func TestMultilevelGateIsInert(t *testing.T) {
 	goldenCompare(t, "flat_golden_result.txt", goldenRender(t, res))
 	goldenCompare(t, "flat_golden_trace.jsonl", goldenTrace(t, rec))
 }
+
+// TestRefineWorkersGateIsInert proves RefineWorkers <= 1 routes through
+// the classic serial FM engine untouched: both the unset (0) and the
+// explicit serial (1) settings must reproduce the flat golden fixtures
+// byte-for-byte — partition rendering AND JSONL trace stream. Only
+// RefineWorkers >= 2 may switch to the parallel sub-round engine.
+func TestRefineWorkersGateIsInert(t *testing.T) {
+	for _, workers := range []int{0, 1} {
+		res, rec := goldenRun(t, kway.Options{RefineWorkers: workers})
+		goldenCompare(t, "flat_golden_result.txt", goldenRender(t, res))
+		goldenCompare(t, "flat_golden_trace.jsonl", goldenTrace(t, rec))
+	}
+}

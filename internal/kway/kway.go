@@ -50,6 +50,14 @@ type Options struct {
 	Retries int
 	// MaxPasses caps FM passes per carve (default: engine default).
 	MaxPasses int
+	// RefineWorkers selects the refinement engine for every FM run the
+	// search performs (carves, V-cycle levels, pair refinement):
+	// values >= 2 use the deterministic parallel sub-round engine
+	// (package parfm) with that many proposal workers; 0 or 1 keep the
+	// classic serial engine, byte-identical to previous releases.
+	// Either way fixed-seed results are independent of Workers and
+	// GOMAXPROCS.
+	RefineWorkers int
 	// Multilevel routes large carve subproblems through the
 	// internal/multilevel V-cycle: the carve's initial assignment is
 	// produced by coarsen → partition → uncoarsen+refine instead of a
@@ -687,14 +695,15 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 		minCarve = 1
 	}
 	cfg := fm.Config{
-		MinArea:      [2]int{minCarve, 0},
-		MaxArea:      [2]int{d.MaxCLBs(), total - minCarve},
-		Threshold:    opts.Threshold,
-		MaxPasses:    opts.MaxPasses,
-		Seed:         seed,
-		Trace:        opts.Trace,
-		TraceAttempt: attempt,
-		Inject:       opts.Inject,
+		MinArea:       [2]int{minCarve, 0},
+		MaxArea:       [2]int{d.MaxCLBs(), total - minCarve},
+		Threshold:     opts.Threshold,
+		MaxPasses:     opts.MaxPasses,
+		RefineWorkers: opts.RefineWorkers,
+		Seed:          seed,
+		Trace:         opts.Trace,
+		TraceAttempt:  attempt,
+		Inject:        opts.Inject,
 	}
 	// The initial assignment: flat cluster growth by default; behind
 	// Options.Multilevel, large subcircuits go through the V-cycle
@@ -706,15 +715,16 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 	flatSeed := true
 	if opts.Multilevel && sub.NumCells() >= opts.MultilevelMinCells {
 		ml, mlErr := multilevel.Run(sub, multilevel.Config{
-			TargetArea:   target,
-			MinArea:      cfg.MinArea,
-			MaxArea:      cfg.MaxArea,
-			PinExternal:  pinTerminals,
-			MaxPasses:    opts.MaxPasses,
-			Seed:         seed,
-			Trace:        opts.Trace,
-			TraceAttempt: attempt,
-			Now:          opts.Now,
+			TargetArea:    target,
+			MinArea:       cfg.MinArea,
+			MaxArea:       cfg.MaxArea,
+			PinExternal:   pinTerminals,
+			MaxPasses:     opts.MaxPasses,
+			RefineWorkers: opts.RefineWorkers,
+			Seed:          seed,
+			Trace:         opts.Trace,
+			TraceAttempt:  attempt,
+			Now:           opts.Now,
 		})
 		if mlErr == nil {
 			sc.assign = append(sc.assign[:0], ml.Assign...)

@@ -83,6 +83,36 @@ func TestRelabelInvariance(t *testing.T) {
 	}
 }
 
+// TestRefineWorkersInvariance: the parallel sub-round refinement engine
+// promises one partition per seed regardless of how many proposal
+// workers evaluate gains. Every RefineWorkers >= 2 setting, crossed
+// with every GOMAXPROCS, must produce a byte-identical solution
+// summary. (RefineWorkers <= 1 is a different engine with its own
+// golden gate — see TestRefineWorkersGateIsInert.)
+func TestRefineWorkersInvariance(t *testing.T) {
+	g := metaCircuit(t, 11)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	want := ""
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{2, 4, 8} {
+			res, err := kway.Partition(g, kway.Options{
+				Library: library.XC3000(), Threshold: 1, Solutions: 4, Seed: 5,
+				RefineWorkers: workers, Verify: true,
+			})
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d RefineWorkers=%d: %v", procs, workers, err)
+			}
+			sig := summarySig(res.Summary)
+			if want == "" {
+				want = sig
+			} else if sig != want {
+				t.Fatalf("GOMAXPROCS=%d RefineWorkers=%d produced a different solution:\n  first: %s\n  now:   %s", procs, workers, want, sig)
+			}
+		}
+	}
+}
+
 // TestSummaryDeterministicAcrossGOMAXPROCS: the parallel search must be
 // schedule-independent — identical Options give a byte-identical
 // summary whether the worker pool runs on 1, 2 or 8 procs.

@@ -85,11 +85,12 @@ func refinePair(g *hypergraph.Graph, res *Result, i, j int, opts Options) (bool,
 	}
 	before := st.Terminals(0) + st.Terminals(1)
 	cfg := fm.Config{
-		MinArea:   [2]int{pi.Device.MinCLBs(), pj.Device.MinCLBs()},
-		MaxArea:   [2]int{pi.Device.MaxCLBs(), pj.Device.MaxCLBs()},
-		Threshold: opts.Threshold,
-		MaxPasses: opts.MaxPasses,
-		Seed:      opts.Seed + int64(i)*31 + int64(j),
+		MinArea:       [2]int{pi.Device.MinCLBs(), pj.Device.MinCLBs()},
+		MaxArea:       [2]int{pi.Device.MaxCLBs(), pj.Device.MaxCLBs()},
+		Threshold:     opts.Threshold,
+		MaxPasses:     opts.MaxPasses,
+		RefineWorkers: opts.RefineWorkers,
+		Seed:          opts.Seed + int64(i)*31 + int64(j),
 	}
 	for b := 0; b < 2; b++ {
 		if a := st.Area(replication.Block(b)); a < cfg.MinArea[b] || a > cfg.MaxArea[b] {

@@ -98,6 +98,11 @@ type Config struct {
 	Workers int
 	// MaxPasses caps FM passes per refinement (0 = engine default).
 	MaxPasses int
+	// RefineWorkers selects the FM engine for every refinement run in
+	// the cycle (coarsest partition and per-level refinement): >= 2
+	// uses the deterministic parallel sub-round engine with that many
+	// proposal workers, 0 or 1 the classic serial engine.
+	RefineWorkers int
 	// Seed derives every random stream of the run.
 	Seed int64
 	// Trace, when non-nil, receives one trace.KindLevel event per
@@ -410,10 +415,11 @@ func initialPartition(lv level, cfg Config, w bounds, target int) ([]replication
 				cutInit := st.CutSize()
 				res, err := runner.Run(st, fm.Config{
 					MinArea: w.min, MaxArea: w.max,
-					Threshold: fm.NoReplication,
-					MaxPasses: cfg.MaxPasses,
-					Seed:      seed,
-					Trace:     cfg.Trace, TraceAttempt: cfg.TraceAttempt,
+					Threshold:     fm.NoReplication,
+					MaxPasses:     cfg.MaxPasses,
+					RefineWorkers: cfg.RefineWorkers,
+					Seed:          seed,
+					Trace:         cfg.Trace, TraceAttempt: cfg.TraceAttempt,
 				})
 				if err != nil {
 					return sol{}, err
@@ -473,10 +479,11 @@ func refineLevel(runner *fm.Runner, lv level, assign []replication.Block, cfg Co
 	cutProj := st.CutSize()
 	res, err := runner.Run(st, fm.Config{
 		MinArea: w.min, MaxArea: w.max,
-		Threshold: fm.NoReplication,
-		MaxPasses: cfg.MaxPasses,
-		Seed:      cfg.Seed + int64(l+1)*refineStride,
-		Trace:     cfg.Trace, TraceAttempt: cfg.TraceAttempt,
+		Threshold:     fm.NoReplication,
+		MaxPasses:     cfg.MaxPasses,
+		RefineWorkers: cfg.RefineWorkers,
+		Seed:          cfg.Seed + int64(l+1)*refineStride,
+		Trace:         cfg.Trace, TraceAttempt: cfg.TraceAttempt,
 	})
 	if err != nil {
 		return nil, 0, LevelStats{}, fmt.Errorf("multilevel: level %d refinement: %w", l, err)

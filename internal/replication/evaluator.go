@@ -1,0 +1,162 @@
+package replication
+
+import (
+	"fmt"
+
+	"fpgapart/internal/hypergraph"
+)
+
+// Evaluator computes exact move gains against a State using private
+// scratch buffers, so multiple Evaluators can evaluate concurrently on
+// the same state as long as nobody mutates it (Apply/Undo/Reset/
+// checkpoint restores) during the evaluation. State.Gain itself shares
+// one scratch set per state and is therefore not safe for concurrent
+// callers; the parallel refinement engine gives each worker its own
+// Evaluator over the frozen per-sub-round state.
+//
+// An Evaluator only reads the state. Its results are identical to
+// State.Gain / AreaDelta, and SingleGain is evaluated semantically so
+// it stays correct when the state's incremental gain maintenance is
+// disabled (see State.SetGainMaintenance).
+type Evaluator struct {
+	s     *State
+	nets  []hypergraph.NetID
+	delta [][2]int32
+	mark  []int32 // per net: index+1 into nets, 0 = absent
+}
+
+// NewEvaluator returns an evaluator bound to st.
+func NewEvaluator(st *State) *Evaluator {
+	ev := &Evaluator{}
+	ev.Bind(st)
+	return ev
+}
+
+// Bind points the evaluator at a (possibly different) state, resizing
+// the scratch only when the net count grew.
+func (ev *Evaluator) Bind(st *State) {
+	ev.s = st
+	if len(ev.mark) < len(st.g.Nets) {
+		ev.mark = make([]int32, len(st.g.Nets))
+	}
+	ev.nets = ev.nets[:0]
+	ev.delta = ev.delta[:0]
+}
+
+// accumulate mirrors State.accumulateDeltas into the evaluator's
+// private buffers (kept separate so the state's hot commit path is
+// untouched).
+func (ev *Evaluator) accumulate(c hypergraph.CellID, old, nw [2]uint32) {
+	s := ev.s
+	cell := &s.g.Cells[c]
+	add := func(n hypergraph.NetID, b Block, d int32) {
+		if d == 0 {
+			return
+		}
+		idx := ev.mark[n]
+		if idx == 0 {
+			ev.nets = append(ev.nets, n)
+			ev.delta = append(ev.delta, [2]int32{})
+			idx = int32(len(ev.nets))
+			ev.mark[n] = idx
+		}
+		ev.delta[idx-1][b] += d
+	}
+	for pi, n := range cell.Outputs {
+		bit := uint32(1) << uint(pi)
+		for b := Block(0); b < 2; b++ {
+			was := old[b]&bit != 0
+			is := nw[b]&bit != 0
+			if was != is {
+				if is {
+					add(n, b, 1)
+				} else {
+					add(n, b, -1)
+				}
+			}
+		}
+	}
+	for pi, n := range cell.Inputs {
+		if n == hypergraph.NilNet {
+			continue
+		}
+		colMask := s.col[c][pi]
+		for b := Block(0); b < 2; b++ {
+			was := old[b]&colMask != 0
+			is := nw[b]&colMask != 0
+			if was != is {
+				if is {
+					add(n, b, 1)
+				} else {
+					add(n, b, -1)
+				}
+			}
+		}
+	}
+}
+
+func (ev *Evaluator) reset() {
+	for _, n := range ev.nets {
+		ev.mark[n] = 0
+	}
+	ev.nets = ev.nets[:0]
+	ev.delta = ev.delta[:0]
+}
+
+// Gain returns the exact cut-size reduction of applying m — identical
+// to State.Gain, but reentrant across evaluators.
+func (ev *Evaluator) Gain(m Move) (int, error) {
+	s := ev.s
+	nw, err := s.newOwn(m)
+	if err != nil {
+		return 0, err
+	}
+	old := s.own[m.Cell]
+	ev.accumulate(m.Cell, old, nw)
+	gain := 0
+	for i, n := range ev.nets {
+		c0, c1 := s.cnt[n][0], s.cnt[n][1]
+		wasCut := c0 > 0 && c1 > 0
+		n0, n1 := c0+ev.delta[i][0], c1+ev.delta[i][1]
+		isCut := n0 > 0 && n1 > 0
+		if wasCut && !isCut {
+			gain++
+		} else if !wasCut && isCut {
+			gain--
+		}
+	}
+	ev.reset()
+	return gain, nil
+}
+
+// MustGain is Gain that panics on invalid moves, for engine internals
+// that already validated candidates.
+func (ev *Evaluator) MustGain(m Move) int {
+	g, err := ev.Gain(m)
+	if err != nil {
+		panic(fmt.Sprintf("replication: evaluator: %v", err))
+	}
+	return g
+}
+
+// SingleGain evaluates the single-move gain of the unreplicated cell
+// from scratch in O(distinct nets of the cell). Unlike
+// State.SingleGain it does not depend on the incrementally maintained
+// values, so it is valid with gain maintenance disabled.
+func (ev *Evaluator) SingleGain(c hypergraph.CellID) int {
+	s := ev.s
+	h := s.home[c]
+	g := int32(0)
+	for i := s.adjOff[c]; i < s.adjOff[c+1]; i++ {
+		n := s.adjNet[i]
+		g += phi(s.cnt[n][h], s.cnt[n][h.Other()], s.adjK[i])
+	}
+	return int(g)
+}
+
+// AreaDelta returns the change in block areas applying m would cause.
+// State.AreaDelta is already read-only and scratch-free; this is a
+// convenience so workers never touch the State's method set directly.
+func (ev *Evaluator) AreaDelta(m Move) (int, int, error) {
+	return ev.s.AreaDelta(m)
+}

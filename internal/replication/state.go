@@ -159,6 +159,12 @@ type State struct {
 	lastTouched   []hypergraph.CellID
 	recordTouched bool
 
+	// maintainGains gates the incremental single-move gain maintenance
+	// (see SetGainMaintenance). On by default; the parallel refinement
+	// engine turns it off because it re-evaluates gains from scratch
+	// against a frozen state instead of patching neighbors per commit.
+	maintainGains bool
+
 	stats Stats
 }
 
@@ -201,7 +207,7 @@ func NewState(g *hypergraph.Graph, assign []Block) (*State, error) {
 // FM run minimizes the carved block's terminal count directly — the
 // objective the k-way partitioner's device feasibility check needs.
 func NewStatePinned(g *hypergraph.Graph, assign []Block, pinExternal bool) (*State, error) {
-	s := &State{g: g}
+	s := &State{g: g, maintainGains: true}
 	if err := s.buildStatic(); err != nil {
 		return nil, err
 	}
@@ -463,8 +469,37 @@ func (s *State) MaxCellDegree() int { return s.maxDeg }
 // (unreplicated) cell to the other block — identical to
 // Gain(Move{Cell: c, Kind: SingleMove}) but O(1). The value is
 // meaningless while the cell is replicated; it is refreshed when the
-// cell unreplicates.
+// cell unreplicates. While gain maintenance is disabled (see
+// SetGainMaintenance) the value is stale and must not be used.
 func (s *State) SingleGain(c hypergraph.CellID) int { return int(s.gainS[c]) }
+
+// SetGainMaintenance toggles the incremental single-move gain
+// maintenance performed by commit. It is on by default — the classic
+// serial FM engine reads SingleGain on every candidate refresh. An
+// engine that instead re-evaluates gains from scratch against frozen
+// snapshots (internal/parfm) turns it off so Apply/Undo skip the
+// per-changed-net neighbor sweep arithmetic, which is the dominant
+// serial cost of a commit. Turning maintenance back on recomputes
+// every unreplicated cell's gain so SingleGain and CheckInvariants are
+// immediately valid again.
+func (s *State) SetGainMaintenance(on bool) {
+	if on == s.maintainGains {
+		return
+	}
+	s.maintainGains = on
+	if !on {
+		return
+	}
+	for ci := range s.gainS {
+		if !s.repl[ci] {
+			s.gainS[ci] = s.computeSingleGain(hypergraph.CellID(ci))
+		}
+	}
+}
+
+// GainMaintenance reports whether incremental single-move gain
+// maintenance is currently enabled.
+func (s *State) GainMaintenance() bool { return s.maintainGains }
 
 // CanReplicate reports eligibility for functional replication at
 // threshold T: multi-output and ψ ≥ T (Eq. 6; T = 0 admits ψ = 0
@@ -692,13 +727,17 @@ func (s *State) Apply(m Move) (Token, error) {
 		// The reverse move undoes exactly the cut delta just applied,
 		// so the mover's new single-move gain is the negation of its
 		// (maintained, pre-move) value — no recomputation needed.
-		s.gainS[m.Cell] = -s.gainS[m.Cell]
+		if s.maintainGains {
+			s.gainS[m.Cell] = -s.gainS[m.Cell]
+		}
 	case Replicate:
 		s.repl[m.Cell] = true
 	case Unreplicate:
 		s.repl[m.Cell] = false
 		s.home[m.Cell] = m.To
-		s.gainS[m.Cell] = s.computeSingleGain(m.Cell)
+		if s.maintainGains {
+			s.gainS[m.Cell] = s.computeSingleGain(m.Cell)
+		}
 	}
 	s.stats.Moves++
 	if m.Kind == Replicate {
@@ -804,9 +843,11 @@ func (s *State) commit(c hypergraph.CellID, nw [2]uint32) {
 		}
 		// Neighbor gain deltas. phi depends on t only through the cut
 		// flag, so a block's cells can only see a delta when their own
-		// side's count or the cut status changed.
-		changed0 := c0 != n0 || wasCut != isCut
-		changed1 := c1 != n1 || wasCut != isCut
+		// side's count or the cut status changed. With maintenance off
+		// both flags stay false, so the sweep below only records the
+		// touched neighborhood.
+		changed0 := (c0 != n0 || wasCut != isCut) && s.maintainGains
+		changed1 := (c1 != n1 || wasCut != isCut) && s.maintainGains
 		if changed0 || changed1 || s.recordTouched {
 			for _, nc := range s.netAdj[s.netOff[n]:s.netOff[n+1]] {
 				cc := nc.cell
@@ -858,7 +899,7 @@ func (s *State) Undo(tok Token) error {
 		s.commit(e.cell, e.own)
 		s.home[e.cell] = e.home
 		s.repl[e.cell] = e.repl
-		if !e.repl {
+		if !e.repl && s.maintainGains {
 			if !wasRepl {
 				// Reversing a single move: negate (see Apply).
 				s.gainS[e.cell] = -s.gainS[e.cell]
@@ -1120,7 +1161,10 @@ func (s *State) CheckInvariants() error {
 	}
 	for ci := range s.g.Cells {
 		c := hypergraph.CellID(ci)
-		if s.repl[c] {
+		if s.repl[c] || !s.maintainGains {
+			// With maintenance off the cached gains are intentionally
+			// stale; SingleGain is documented as unusable until
+			// SetGainMaintenance(true) recomputes them.
 			continue
 		}
 		want, err := s.Gain(Move{Cell: c, Kind: SingleMove})

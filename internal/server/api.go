@@ -40,6 +40,11 @@ type JobRequest struct {
 	// Multilevel routes large carve subproblems through the multilevel
 	// V-cycle (see core.Options.Multilevel). Off by default.
 	Multilevel bool `json:"multilevel,omitempty"`
+	// RefineWorkers selects the FM refinement engine: values >= 2 run
+	// the deterministic parallel sub-round engine with that many
+	// proposal workers, 0 or 1 the classic serial engine (see
+	// core.Options.RefineWorkers).
+	RefineWorkers int `json:"refine_workers,omitempty"`
 	// TimeoutMS bounds the search wall clock (0 = server default,
 	// capped at the server maximum).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -213,12 +218,13 @@ func (s *Server) parseRequest(req *JobRequest) (*hypergraph.Graph, core.Options,
 		return nil, core.Options{}, 0, fmt.Errorf("unknown format %q (want \"clb\" or \"gnl\")", req.Format)
 	}
 	opts := core.Options{
-		Library:    s.cfg.Library,
-		Solutions:  req.Solutions,
-		Seed:       req.Seed,
-		MaxStale:   req.MaxStale,
-		Multilevel: req.Multilevel,
-		Inject:     s.cfg.Inject,
+		Library:       s.cfg.Library,
+		Solutions:     req.Solutions,
+		Seed:          req.Seed,
+		MaxStale:      req.MaxStale,
+		Multilevel:    req.Multilevel,
+		RefineWorkers: req.RefineWorkers,
+		Inject:        s.cfg.Inject,
 	}
 	if req.Threshold != nil {
 		opts.Threshold = *req.Threshold
@@ -267,7 +273,7 @@ func decodeRequest(r *http.Request) (*JobRequest, error) {
 	for _, p := range []struct {
 		key string
 		dst *int
-	}{{"solutions", &req.Solutions}, {"max_stale", &req.MaxStale}} {
+	}{{"solutions", &req.Solutions}, {"max_stale", &req.MaxStale}, {"refine_workers", &req.RefineWorkers}} {
 		if v := q.Get(p.key); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil {

@@ -23,6 +23,12 @@ const (
 	MetricLevels         = "fpgapart_multilevel_levels_total"
 	MetricLevelCells     = "fpgapart_multilevel_level_cells"
 	MetricLevelCut       = "fpgapart_multilevel_cut_after_refine"
+
+	MetricParRounds        = "fpgapart_parfm_rounds_total"
+	MetricParProposals     = "fpgapart_parfm_proposals_total"
+	MetricParCommits       = "fpgapart_parfm_commits_total"
+	MetricParStale         = "fpgapart_parfm_stale_total"
+	MetricParCommitsPerRnd = "fpgapart_parfm_commits_per_round"
 )
 
 // rejectReasons are the static carve-rejection codes emitted by the
@@ -72,6 +78,12 @@ type Bridge struct {
 	levels     *Counter
 	levelCells *Histogram
 	levelCut   *Histogram
+
+	parRounds        *Counter
+	parProposals     *Counter
+	parCommits       *Counter
+	parStale         *Counter
+	parCommitsPerRnd *Histogram
 }
 
 // NewBridge registers the engine metric families on r and returns the
@@ -94,6 +106,12 @@ func NewBridge(r *Registry) *Bridge {
 		levels:        r.Counter(MetricLevels, "Completed uncoarsening levels of multilevel runs."),
 		levelCells:    r.Histogram(MetricLevelCells, "Coarse cell count per completed uncoarsening level.", ExpBuckets(1, 4, 12)),
 		levelCut:      r.Histogram(MetricLevelCut, "Cut size after each level's FM refinement.", ExpBuckets(1, 2, 13)),
+
+		parRounds:        r.Counter(MetricParRounds, "Parallel-refinement sub-rounds executed."),
+		parProposals:     r.Counter(MetricParProposals, "Move proposals evaluated by parallel-refinement workers."),
+		parCommits:       r.Counter(MetricParCommits, "Proposals committed by the parallel-refinement committer."),
+		parStale:         r.Counter(MetricParStale, "Proposals invalidated by an earlier commit's neighborhood."),
+		parCommitsPerRnd: r.Histogram(MetricParCommitsPerRnd, "Commits applied per parallel-refinement sub-round.", ExpBuckets(1, 2, 8)),
 	}
 	rej := r.CounterVec(MetricCarveRejected, "Carve attempts rejected, by static rejection code.", "reason")
 	for _, reason := range rejectReasons {
@@ -149,5 +167,11 @@ func (b *Bridge) Event(e trace.Event) {
 		b.levels.Inc()
 		b.levelCells.Observe(float64(e.Cells))
 		b.levelCut.Observe(float64(e.Cut))
+	case trace.KindParRound:
+		b.parRounds.Inc()
+		b.parProposals.Add(int64(e.Proposals))
+		b.parCommits.Add(int64(e.Commits))
+		b.parStale.Add(int64(e.Stale))
+		b.parCommitsPerRnd.Observe(float64(e.Commits))
 	}
 }

@@ -22,6 +22,8 @@ func TestBridgeMapsEvents(t *testing.T) {
 		{Kind: trace.KindSolution, Feasible: false, Panic: true},
 		{Kind: trace.KindPhase, Phase: trace.PhaseSearch, Dur: 250 * time.Millisecond},
 		{Kind: trace.KindPhase, Phase: "mystery", Dur: time.Millisecond},
+		{Kind: trace.KindParRound, Pass: 1, Round: 0, Proposals: 300, Commits: 4, Stale: 9},
+		{Kind: trace.KindParRound, Pass: 1, Round: 1, Proposals: 17, Commits: 2, Stale: 3},
 	}
 	for _, e := range events {
 		b.Event(e)
@@ -68,6 +70,21 @@ func TestBridgeMapsEvents(t *testing.T) {
 	if got := b.phaseOther.Count(); got != 1 {
 		t.Fatalf("unknown phase should land on other, got %d", got)
 	}
+	if got := b.parRounds.Value(); got != 2 {
+		t.Fatalf("parfm rounds %d", got)
+	}
+	if got := b.parProposals.Value(); got != 317 {
+		t.Fatalf("parfm proposals %d", got)
+	}
+	if got := b.parCommits.Value(); got != 6 {
+		t.Fatalf("parfm commits %d", got)
+	}
+	if got := b.parStale.Value(); got != 12 {
+		t.Fatalf("parfm stale %d", got)
+	}
+	if got := b.parCommitsPerRnd.Count(); got != 2 {
+		t.Fatalf("parfm commits-per-round count %d", got)
+	}
 
 	out := render(t, r)
 	for _, want := range []string{
@@ -75,6 +92,7 @@ func TestBridgeMapsEvents(t *testing.T) {
 		`fpgapart_carve_accepted_total 1`,
 		`fpgapart_solutions_total{feasible="true"} 1`,
 		`fpgapart_phase_seconds_count{phase="search"} 1`,
+		`fpgapart_parfm_commits_total 6`,
 	} {
 		if !strings.Contains(out, want+"\n") {
 			t.Fatalf("missing %q in exposition:\n%s", want, out)
@@ -92,6 +110,7 @@ func TestBridgeEventAllocs(t *testing.T) {
 		{Kind: trace.KindCarveRejected, Reason: "fm"},
 		{Kind: trace.KindSolution, Feasible: true, Improved: true},
 		{Kind: trace.KindPhase, Phase: trace.PhaseFold, Dur: time.Millisecond},
+		{Kind: trace.KindParRound, Pass: 1, Round: 2, Proposals: 40, Commits: 4, Stale: 2},
 	}
 	if avg := testing.AllocsPerRun(200, func() {
 		for _, e := range events {

@@ -54,6 +54,13 @@ const (
 	// level's FM refinement, Area the block-0 area, Moves/Pass the FM
 	// work the refinement took.
 	KindLevel
+	// KindParRound marks one synchronous sub-round of the parallel
+	// refinement engine (internal/parfm): Pass is the enclosing FM
+	// pass, Round the sub-round index within it, Proposals the moves
+	// proposed against the frozen state, Commits the proposals applied
+	// and Stale the proposals rejected because an earlier commit of the
+	// same sub-round invalidated their gain.
+	KindParRound
 )
 
 // Phase names carried by KindPhase events.
@@ -81,6 +88,8 @@ func (k Kind) String() string {
 		return "phase"
 	case KindLevel:
 		return "level"
+	case KindParRound:
+		return "parfm-round"
 	default:
 		return "unknown"
 	}
@@ -121,6 +130,12 @@ type Event struct {
 	// the level's coarse cell count.
 	Level int
 	Cells int
+	// Parallel sub-round fields (KindParRound): the sub-round index
+	// within the pass, and its proposal/commit/stale-rejection counts.
+	Round     int
+	Proposals int
+	Commits   int
+	Stale     int
 }
 
 // Sink receives events. Implementations must be safe for concurrent
@@ -151,15 +166,20 @@ type Counters struct {
 	Solutions, Feasible, Panics int64
 	// Levels counts completed uncoarsening levels of multilevel runs.
 	Levels int64
+	// ParRounds counts parallel refinement sub-rounds; ParProposals,
+	// ParCommits and ParStale total their proposal outcomes (from
+	// KindParRound events).
+	ParRounds, ParProposals, ParCommits, ParStale int64
 }
 
 // Agg is a Sink that aggregates events into Counters with atomic
 // adds — allocation-free and safe under concurrent emission.
 type Agg struct {
-	moves, passes, carves, rejected int64
-	replicas, rollbacks             int64
-	solutions, feasible, panics     int64
-	levels                          int64
+	moves, passes, carves, rejected               int64
+	replicas, rollbacks                           int64
+	solutions, feasible, panics                   int64
+	levels                                        int64
+	parRounds, parProposals, parCommits, parStale int64
 }
 
 // Event implements Sink.
@@ -186,6 +206,11 @@ func (a *Agg) Event(e Event) {
 		}
 	case KindLevel:
 		atomic.AddInt64(&a.levels, 1)
+	case KindParRound:
+		atomic.AddInt64(&a.parRounds, 1)
+		atomic.AddInt64(&a.parProposals, int64(e.Proposals))
+		atomic.AddInt64(&a.parCommits, int64(e.Commits))
+		atomic.AddInt64(&a.parStale, int64(e.Stale))
 	}
 }
 
@@ -202,6 +227,10 @@ func (a *Agg) Snapshot() Counters {
 		Feasible:       atomic.LoadInt64(&a.feasible),
 		Panics:         atomic.LoadInt64(&a.panics),
 		Levels:         atomic.LoadInt64(&a.levels),
+		ParRounds:      atomic.LoadInt64(&a.parRounds),
+		ParProposals:   atomic.LoadInt64(&a.parProposals),
+		ParCommits:     atomic.LoadInt64(&a.parCommits),
+		ParStale:       atomic.LoadInt64(&a.parStale),
 	}
 }
 
@@ -278,6 +307,12 @@ func (j *JSONL) Event(e Event) {
 		b = appendIntField(b, "cut", e.Cut)
 		b = appendIntField(b, "moves", e.Moves)
 		b = appendIntField(b, "passes", e.Pass)
+	case KindParRound:
+		b = appendIntField(b, "pass", e.Pass)
+		b = appendIntField(b, "round", e.Round)
+		b = appendIntField(b, "proposals", e.Proposals)
+		b = appendIntField(b, "commits", e.Commits)
+		b = appendIntField(b, "stale", e.Stale)
 	}
 	b = append(b, '}', '\n')
 	j.buf = b
