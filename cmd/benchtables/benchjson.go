@@ -9,8 +9,10 @@ import (
 	"fpgapart/internal/bench"
 	"fpgapart/internal/core"
 	"fpgapart/internal/fm"
+	"fpgapart/internal/kway"
 	"fpgapart/internal/multilevel"
 	"fpgapart/internal/replication"
+	"fpgapart/internal/topology"
 )
 
 // benchPoint is one trajectory sample: the speed of a hot path at a
@@ -215,6 +217,107 @@ func parfmBench() (parfmPoint, error) {
 	return p, nil
 }
 
+// topologyPoint is the board-objective trajectory sample: one
+// fixed-seed circuit partitioned flat (the paper's terminal-cut
+// objective) and against a 2x4 mesh of device slots (the hop-weighted
+// interconnect objective), with both placements scored on the same
+// board. The quality columns are deterministic and board_topo_cost
+// must stay below flat_topo_cost — that gap is what the topology
+// objective buys; only the timing columns move as the engines change.
+type topologyPoint struct {
+	Name          string `json:"name"`
+	Circuit       string `json:"circuit"`
+	Cells         int    `json:"cells"`
+	Seed          int64  `json:"seed"`
+	Board         string `json:"board"`
+	FlatNsPerOp   int64  `json:"flat_ns_per_op"`
+	BoardNsPerOp  int64  `json:"board_ns_per_op"`
+	FlatK         int    `json:"flat_k"`
+	BoardK        int    `json:"board_k"`
+	FlatTopoCost  int    `json:"flat_topo_cost"`
+	BoardTopoCost int    `json:"board_topo_cost"`
+}
+
+const (
+	topoCells = 1400
+	topoSeed  = 11
+	// Generous link capacity: the sample tracks hop cost, not
+	// congestion, so routing must never reject a solution.
+	topoBoardSpec = "mesh:2x4:1048576"
+)
+
+// boardScore prices a finished placement on a board: part i occupies
+// slot i, every net pays the Steiner span over the slots it touches.
+func boardScore(b *topology.Board, parts []kway.Part) int {
+	spans := make(map[string]topology.SlotSet)
+	for slot, p := range parts {
+		for ni := range p.Graph.Nets {
+			spans[p.Graph.Nets[ni].Name] = spans[p.Graph.Nets[ni].Name].Add(slot)
+		}
+	}
+	total := 0
+	for _, span := range spans {
+		total += b.SpanCost(span)
+	}
+	return total
+}
+
+// topologyBench samples the flat-vs-board comparison point.
+func topologyBench() (topologyPoint, error) {
+	g, err := bench.Generate(bench.Params{
+		Cells: topoCells, PrimaryIn: 40, PrimaryOut: 20, Clustering: 0.5, Seed: 3,
+	})
+	if err != nil {
+		return topologyPoint{}, err
+	}
+	board, err := topology.ParseSpec(topoBoardSpec)
+	if err != nil {
+		return topologyPoint{}, err
+	}
+
+	sample := func(b *topology.Board) (int64, core.Result, error) {
+		var res core.Result
+		var runErr error
+		bres := testing.Benchmark(func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				res, runErr = core.Partition(g, core.Options{
+					Solutions: 8, Seed: topoSeed, Board: b,
+				})
+				if runErr != nil {
+					return
+				}
+			}
+		})
+		if runErr != nil {
+			return 0, core.Result{}, runErr
+		}
+		return bres.NsPerOp(), res, nil
+	}
+
+	flatNs, flatRes, err := sample(nil)
+	if err != nil {
+		return topologyPoint{}, err
+	}
+	boardNs, boardRes, err := sample(board)
+	if err != nil {
+		return topologyPoint{}, err
+	}
+
+	return topologyPoint{
+		Name:          "topology_mesh2x4_1400",
+		Circuit:       g.Name,
+		Cells:         g.NumCells(),
+		Seed:          topoSeed,
+		Board:         topoBoardSpec,
+		FlatNsPerOp:   flatNs,
+		BoardNsPerOp:  boardNs,
+		FlatK:         flatRes.Summary.K(),
+		BoardK:        boardRes.Summary.K(),
+		FlatTopoCost:  boardScore(board, flatRes.Parts),
+		BoardTopoCost: boardRes.Summary.TopoCost,
+	}, nil
+}
+
 // writeBenchJSON samples the two engine hot paths (one FM
 // bipartitioning run, one full k-way search) and records them as
 // BENCH_fm.json and BENCH_kway.json in dir. The seed is pinned so the
@@ -269,6 +372,11 @@ func writeBenchJSON(dir string) error {
 		return err
 	}
 
+	topoPoint, err := topologyBench()
+	if err != nil {
+		return err
+	}
+
 	points := []struct {
 		file  string
 		point any
@@ -277,6 +385,7 @@ func writeBenchJSON(dir string) error {
 		{"BENCH_kway.json", point("kway_partition", kwayRes, 0, cost)},
 		{"BENCH_multilevel.json", mlPoint},
 		{"BENCH_parfm.json", pfPoint},
+		{"BENCH_topology.json", topoPoint},
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err

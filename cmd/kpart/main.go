@@ -37,7 +37,9 @@ import (
 	"fpgapart/internal/search"
 	"fpgapart/internal/techmap"
 	"fpgapart/internal/telemetry"
+	"fpgapart/internal/topology"
 	"fpgapart/internal/trace"
+	"fpgapart/internal/verify"
 )
 
 func main() {
@@ -55,6 +57,7 @@ func main() {
 	multilevel := flag.Bool("multilevel", false, "seed large carve subproblems with the multilevel V-cycle (coarsen, partition, uncoarsen+refine)")
 	progress := flag.Bool("progress", false, "print per-solution progress and search statistics to stderr")
 	statsJSON := flag.String("stats-json", "", "stream structured engine events (FM passes, carves, solutions) as JSONL to this file")
+	board := flag.String("board", "", "multi-FPGA board topology: a spec (crossbar:N[:CAP], linear:N[:CAP], mesh:RxC[:CAP]) or a board-description file; switches the search to the hop-weighted interconnect objective")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (Prometheus text format 0.0.4) to this file")
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Usage = func() {
@@ -96,6 +99,7 @@ exit codes:
 		progress:      *progress,
 		statsJSON:     *statsJSON,
 		metricsOut:    *metricsOut,
+		board:         *board,
 	})
 	if perr := stopProf(); err == nil {
 		err = perr
@@ -143,6 +147,7 @@ type runConfig struct {
 	progress      bool
 	statsJSON     string
 	metricsOut    string
+	board         string
 }
 
 // progressSink prints one stderr line per folded solution attempt.
@@ -210,10 +215,21 @@ func run(cfg runConfig) error {
 		jsonl = trace.NewJSONL(jsonlFile)
 		sinks = append(sinks, jsonl)
 	}
+	var board *topology.Board
+	if cfg.board != "" {
+		board, err = topology.FromArg(cfg.board)
+		if err != nil {
+			return err
+		}
+	}
 	var reg *telemetry.Registry
+	var boardGauges *telemetry.BoardGauges
 	if cfg.metricsOut != "" {
 		reg = telemetry.NewRegistry()
 		sinks = append(sinks, telemetry.NewBridge(reg))
+		if board != nil {
+			boardGauges = telemetry.NewBoardGauges(reg, board)
+		}
 	}
 
 	sink := trace.Multi(sinks...)
@@ -230,7 +246,15 @@ func run(cfg runConfig) error {
 		Multilevel:    cfg.multilevel,
 		RefineWorkers: cfg.refineWorkers,
 		Trace:         sink,
+		Board:         board,
 	})
+	if boardGauges != nil && err == nil {
+		graphs := make([]*hypergraph.Graph, len(res.Parts))
+		for i, p := range res.Parts {
+			graphs[i] = p.Graph
+		}
+		boardGauges.SetLoads(verify.LinkLoads(board, graphs))
+	}
 	if agg != nil {
 		c := agg.Snapshot()
 		fmt.Fprintf(os.Stderr, "kpart: stats: %d FM passes, %d moves; %d carves (%d rejected), %d replicas, %d rollbacks\n",
@@ -264,6 +288,9 @@ func run(cfg runConfig) error {
 	fmt.Printf("partition: k=%d  cost=%.0f  avg CLB util=%.0f%%  avg IOB util=%.0f%%  replicated=%d (%.1f%%)\n",
 		s.K(), s.DeviceCost(), 100*s.AvgCLBUtil(), 100*s.AvgIOBUtil(),
 		s.ReplicatedCells(), s.ReplicatedPct(res.SourceCells))
+	if res.Summary.HasTopo {
+		fmt.Printf("topology: board %s  hop-weighted interconnect=%d\n", board.Name, res.Summary.TopoCost)
+	}
 	fmt.Printf("search: %d feasible solutions, %d failed attempts; cost spread min=%.0f mean=%.0f max=%.0f\n",
 		res.Feasible, res.Failed, res.CostMin, res.CostMean, res.CostMax)
 	if res.Stopped != "" {
@@ -285,7 +312,7 @@ func run(cfg runConfig) error {
 		t.Render(os.Stdout)
 	}
 	if cfg.jsonOut {
-		if err := writeJSON(os.Stdout, g, res); err != nil {
+		if err := writeJSON(os.Stdout, g, res, board); err != nil {
 			return err
 		}
 	}
@@ -345,6 +372,8 @@ type jsonSolution struct {
 	IOBUtil     float64    `json:"avg_iob_util"`
 	Replicated  int        `json:"replicated_cells"`
 	SourceCells int        `json:"source_cells"`
+	Board       string     `json:"board,omitempty"`
+	TopoCost    *int       `json:"topo_cost,omitempty"`
 	Parts       []jsonPart `json:"parts"`
 }
 
@@ -356,7 +385,7 @@ type jsonPart struct {
 	Replicas  int    `json:"replicas"`
 }
 
-func writeJSON(w io.Writer, g *hypergraph.Graph, res core.Result) error {
+func writeJSON(w io.Writer, g *hypergraph.Graph, res core.Result, board *topology.Board) error {
 	out := jsonSolution{
 		Circuit:     g.Name,
 		K:           res.Summary.K(),
@@ -365,6 +394,11 @@ func writeJSON(w io.Writer, g *hypergraph.Graph, res core.Result) error {
 		IOBUtil:     res.Summary.AvgIOBUtil(),
 		Replicated:  res.Summary.ReplicatedCells(),
 		SourceCells: res.SourceCells,
+	}
+	if res.Summary.HasTopo && board != nil {
+		out.Board = board.Name
+		topo := res.Summary.TopoCost
+		out.TopoCost = &topo
 	}
 	for _, p := range res.Parts {
 		out.Parts = append(out.Parts, jsonPart{

@@ -8,6 +8,13 @@
 //	netgen -cells 500 -pi 30 -po 20 -dff 100 -seed 7 > synth.clb
 //	netgen -cells 100000 -rent 0.65 -seed 7 > rent65.clb
 //	netgen -gates 2000 -pi 30 -po 20 -seed 7 -gate > synth.gnl
+//
+// With -board a multi-FPGA board description is emitted alongside the
+// circuit, expanding a spec (crossbar:N[:CAP], linear:N[:CAP],
+// mesh:RxC[:CAP]) into the explicit board-file format kpart -board
+// accepts:
+//
+//	netgen -cells 800 -board mesh:2x2:128 -board-out mesh.board > mesh.clb
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"fpgapart/internal/bench"
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/netlist"
+	"fpgapart/internal/topology"
 )
 
 func main() {
@@ -35,6 +43,8 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.BoolVar(&cfg.gate, "gate", false, "emit a gate-level netlist instead of a mapped circuit")
 	flag.BoolVar(&cfg.list, "list", false, "list suite circuits and exit")
+	flag.StringVar(&cfg.board, "board", "", "also emit a board description expanded from this spec (crossbar:N[:CAP], linear:N[:CAP], mesh:RxC[:CAP])")
+	flag.StringVar(&cfg.boardOut, "board-out", "", "write the expanded -board description to this file (required with -board; the circuit itself goes to stdout)")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -56,12 +66,17 @@ type genConfig struct {
 	seed       int64
 	gate       bool
 	list       bool
+	board      string
+	boardOut   string
 }
 
 // validate rejects out-of-range parameters up front with a clear
 // message, instead of letting a generator loop hang or emit a
 // degenerate circuit.
 func (c genConfig) validate() error {
+	if err := c.validateBoard(); err != nil {
+		return err
+	}
 	if c.list || c.suite != "" {
 		return nil
 	}
@@ -90,9 +105,30 @@ func (c genConfig) validate() error {
 	return nil
 }
 
+func (c genConfig) validateBoard() error {
+	if c.board == "" {
+		if c.boardOut != "" {
+			return fmt.Errorf("-board-out needs -board")
+		}
+		return nil
+	}
+	if c.boardOut == "" {
+		return fmt.Errorf("-board needs -board-out (the circuit occupies stdout)")
+	}
+	if _, err := topology.ParseSpec(c.board); err != nil {
+		return err
+	}
+	return nil
+}
+
 func run(w io.Writer, cfg genConfig) error {
 	if err := cfg.validate(); err != nil {
 		return err
+	}
+	if cfg.board != "" && !cfg.list {
+		if err := writeBoard(cfg.board, cfg.boardOut); err != nil {
+			return err
+		}
 	}
 	if cfg.list {
 		for _, c := range bench.Suite() {
@@ -133,4 +169,26 @@ func run(w io.Writer, cfg genConfig) error {
 		return err
 	}
 	return hypergraph.Write(w, g)
+}
+
+// writeBoard expands a board spec into the explicit board-file format,
+// so the emitted file round-trips through kpart -board and stays
+// editable (capacities, hop costs) without re-running netgen.
+func writeBoard(spec, path string) error {
+	b, err := topology.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = b.Write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("board file %s: %w", path, err)
+	}
+	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"fpgapart/internal/core"
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/techmap"
+	"fpgapart/internal/topology"
 )
 
 func main() {
@@ -61,6 +62,26 @@ func main() {
 			fmt.Printf("  %d x %s\n", count, name)
 		}
 	}
+
+	// The same design on a physical 3x4 mesh of device slots: the
+	// search switches to the hop-weighted interconnect objective, so
+	// nets that would span distant slots get packed into adjacent ones
+	// and the routing post-check guarantees no board link is
+	// oversubscribed.
+	board, err := topology.ParseSpec("mesh:3x4:512")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Partition(m.Graph, core.Options{
+		Threshold: 1, Solutions: 20, Seed: 5, Board: board,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := res.Summary
+	fmt.Printf("\nmesh board %s (%d slots, link capacity 512):\n", board.Name, board.Slots)
+	fmt.Printf("  k=%d  cost=%.0f  hop-weighted interconnect=%d\n",
+		sum.K(), sum.DeviceCost(), sum.TopoCost)
 }
 
 func verify(n *netlist.Netlist, m *techmap.Mapped) error {

@@ -25,8 +25,10 @@ import (
 	"fpgapart/internal/kway"
 	"fpgapart/internal/library"
 	"fpgapart/internal/netlist"
+	"fpgapart/internal/objective"
 	"fpgapart/internal/replication"
 	"fpgapart/internal/techmap"
+	"fpgapart/internal/topology"
 	"fpgapart/internal/trace"
 )
 
@@ -91,8 +93,17 @@ type Options struct {
 	// selects time.Now). Clock readings feed only Trace, never search
 	// decisions, so fixed-seed results are byte-identical with or
 	// without telemetry.
-	Now  func() time.Time
-	Seed int64
+	Now func() time.Time
+	// Board, when non-nil, switches the search to the hop-weighted
+	// interconnect objective over the board's device-slot topology
+	// (internal/topology): part i occupies board slot i, each cut net
+	// costs its Steiner span over the slots it touches, and solutions
+	// exceeding the slot count or any link's routing capacity are
+	// rejected (verify.Routing). Result.Summary.TopoCost/HasTopo carry
+	// the winning score. Nil keeps the paper's flat terminal-cut
+	// objective, byte-identical to board-free releases.
+	Board *topology.Board
+	Seed  int64
 }
 
 func (o Options) fill() Options {
@@ -139,6 +150,9 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		Inject:        opts.Inject,
 		Now:           opts.Now,
 		Seed:          opts.Seed,
+	}
+	if opts.Board != nil {
+		kopts.Objective = objective.NewTopology(opts.Board)
 	}
 	res, err := kway.PartitionContext(ctx, g, kopts)
 	if err != nil {

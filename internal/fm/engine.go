@@ -101,15 +101,15 @@ type node struct {
 // same graph (see bind), which is what makes carve retries in the k-way
 // partitioner allocation-free after warm-up.
 type engine struct {
-	st     *replication.State
-	cfg    Config
-	gainOf int // bucket offset = max |gain| = max cell degree
-	pool   []node
-	base   []int32 // per cell: first pool slot; base[n] = len(pool)
-	head   []int32 // per bucket: first node, nilNode when empty
-	maxPtr int
-	locked []bool
-	order  []hypergraph.CellID
+	st       *replication.State
+	cfg      Config
+	gainOf   int // bucket offset = max |gain| (st.MaxMoveGain)
+	pool     []node
+	base     []int32 // per cell: first pool slot; base[n] = len(pool)
+	head     []int32 // per bucket: first node, nilNode when empty
+	maxPtr   int
+	locked   []bool
+	order    []hypergraph.CellID
 	scratch  []hypergraph.CellID
 	best     replication.Checkpoint // per-pass best-prefix snapshot
 	replOnly bool
@@ -144,16 +144,18 @@ func Run(st *replication.State, cfg Config) (Result, error) {
 }
 
 // bind points the engine at a state, rebuilding the graph-derived slot
-// layout only when the graph changed since the previous run.
+// layout only when the graph (or its objective's gain bound) changed
+// since the previous run. For the classic objective MaxMoveGain equals
+// MaxCellDegree, so flat-path rebinding is unchanged.
 func (e *engine) bind(st *replication.State) {
 	g := st.Graph()
-	if e.st != nil && e.st.Graph() == g && e.gainOf == st.MaxCellDegree() {
+	if e.st != nil && e.st.Graph() == g && e.gainOf == st.MaxMoveGain() {
 		e.st = st
 		return
 	}
 	e.st = st
 	n := g.NumCells()
-	e.gainOf = st.MaxCellDegree()
+	e.gainOf = st.MaxMoveGain()
 	e.head = make([]int32, 2*e.gainOf+1)
 	e.base = make([]int32, n+1)
 	slots := 0
@@ -307,7 +309,7 @@ func flowRefine(st *replication.State, cfg Config) error {
 				continue
 			}
 			tok := st.Mark()
-			before := st.CutSize()
+			before := st.Objective()
 			res, err := replication.OptimalPull(st, b, replication.PullOptions{
 				Radius: 4, MaxExtraArea: budget,
 			})
@@ -317,7 +319,7 @@ func flowRefine(st *replication.State, cfg Config) error {
 			if !res.Applied {
 				continue
 			}
-			if st.Area(b) < cfg.MinArea[b] || st.CutSize() >= before {
+			if st.Area(b) < cfg.MinArea[b] || st.Objective() >= before {
 				if err := st.Undo(tok); err != nil {
 					return err
 				}
@@ -429,7 +431,11 @@ func (e *engine) pass() (bool, int) {
 	for _, c := range e.order {
 		e.push(c)
 	}
-	startCut := e.st.CutSize()
+	// The pass minimizes the state's objective: plain cut size, or the
+	// weighted topology cost when a net weight table is installed
+	// (identical values on unweighted states, so the flat path is
+	// byte-for-byte the classic engine).
+	startCut := e.st.Objective()
 	bestCut := startCut
 	// Best-prefix tracking via full-state snapshots: restoring one is
 	// O(cells + nets) flat copies, against per-move undo sweeps over
@@ -466,7 +472,7 @@ func (e *engine) pass() (bool, int) {
 				e.push(t)
 			}
 		}
-		if cut := e.st.CutSize(); cut < bestCut {
+		if cut := e.st.Objective(); cut < bestCut {
 			bestCut = cut
 			e.st.SaveCheckpoint(&e.best)
 		}

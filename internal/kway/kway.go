@@ -30,8 +30,10 @@ import (
 	"fpgapart/internal/library"
 	"fpgapart/internal/metrics"
 	"fpgapart/internal/multilevel"
+	"fpgapart/internal/objective"
 	"fpgapart/internal/replication"
 	"fpgapart/internal/search"
+	"fpgapart/internal/topology"
 	"fpgapart/internal/trace"
 	"fpgapart/internal/verify"
 )
@@ -109,8 +111,21 @@ type Options struct {
 	// only the trace stream, never search decisions, so fixed-seed
 	// results are byte-identical with or without phase tracing — and
 	// no clock is read at all when Trace is nil.
-	Now  func() time.Time
-	Seed int64
+	Now func() time.Time
+	// Objective selects the partition cost model (internal/objective).
+	// Nil — or any model whose Board() is nil, like
+	// objective.TerminalCut — keeps the classic terminal-cut engine,
+	// byte-identical to pre-objective releases (TestTopologyGateIsInert
+	// pins this against the flat golden fixtures). A board-backed model
+	// (objective.NewTopology) places part i on board slot i, weights
+	// every carve's FM run by the marginal Steiner-span cost of each
+	// net (replication.SetNetWeights), scores folded solutions by their
+	// hop-weighted interconnect (Summary.TopoCost, a lexicographic
+	// tie-breaker between device cost and IOB utilization), and
+	// rejects solutions that exceed the board's slot count or any
+	// link's routing capacity (verify.Routing).
+	Objective objective.Model
+	Seed      int64
 }
 
 // VerificationError reports an in-loop invariant violation detected by
@@ -301,7 +316,7 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 						panic(v)
 					}
 				}()
-				parts, err := partitionOnce(ctx, g, opts, attempt, seed, &sc)
+				parts, tr, err := partitionOnce(ctx, g, opts, attempt, seed, &sc)
 				if err != nil {
 					return Result{}, err
 				}
@@ -311,6 +326,20 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 				}
 				remapDevices(parts, opts.Library)
 				res := assemble(g, parts)
+				if tr != nil {
+					res.Summary.TopoCost = tr.cost()
+					res.Summary.HasTopo = true
+					// Routing post-check: a solution whose routed net load
+					// overflows a board link is infeasible on this board —
+					// the attempt folds as failed and the search retries.
+					graphs := make([]*hypergraph.Graph, len(parts))
+					for i := range parts {
+						graphs[i] = parts[i].Graph
+					}
+					if rerr := verify.Routing(tr.board, graphs); rerr != nil {
+						return Result{}, fmt.Errorf("kway: board %s: %w", tr.board.Name, rerr)
+					}
+				}
 				if opts.Trace != nil {
 					emitPhase(attempt, trace.PhaseFold, foldStart)
 				}
@@ -366,6 +395,7 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 				opts.Trace.Event(trace.Event{
 					Kind: trace.KindSolution, Attempt: attempt,
 					Feasible: true, Cost: cost, Parts: len(sol.Parts), Improved: improved,
+					Topo: sol.Summary.TopoCost, HasTopo: sol.Summary.HasTopo,
 				})
 			}
 		},
@@ -462,9 +492,66 @@ type carveScratch struct {
 	st      *replication.State
 }
 
-// partitionOnce builds one complete k-way solution or fails.
-func partitionOnce(ctx context.Context, g *hypergraph.Graph, opts Options, attempt int, seed int64, sc *carveScratch) ([]Part, error) {
+// slotTracker maintains the board-slot placement of one solution
+// attempt under a board-backed objective: the recursive carve produces
+// parts in index order and part i occupies board slot i, so spans
+// accumulates, per source net name, the set of slots already hosting
+// the net. During a carve of the remainder the carved block is headed
+// for slot s0 = len(parts) and the rest is anchored (greedily) at the
+// next slot s0+1; the model turns each net's placed span into a
+// NetWeights triple for the FM run. nil tracker = flat terminal-cut
+// engine.
+type slotTracker struct {
+	model     objective.Model
+	board     *topology.Board
+	spans     map[string]topology.SlotSet
+	spanBuf   []topology.SlotSet
+	weightBuf []replication.NetWeights
+}
+
+func newSlotTracker(m objective.Model) *slotTracker {
+	if m == nil || m.Board() == nil {
+		return nil
+	}
+	return &slotTracker{model: m, board: m.Board(), spans: make(map[string]topology.SlotSet)}
+}
+
+// place records a finished part occupying slot: every net of the part
+// now touches it.
+func (tr *slotTracker) place(g *hypergraph.Graph, slot int) {
+	for ni := range g.Nets {
+		name := g.Nets[ni].Name
+		tr.spans[name] = tr.spans[name].Add(slot)
+	}
+}
+
+// carveWeights derives the per-net weight table for a carve of sub
+// between slot s0 (the carved block) and anchor s1 (the remainder).
+func (tr *slotTracker) carveWeights(sub *hypergraph.Graph, s0, s1 int) []replication.NetWeights {
+	tr.spanBuf = tr.spanBuf[:0]
+	for ni := range sub.Nets {
+		tr.spanBuf = append(tr.spanBuf, tr.spans[sub.Nets[ni].Name])
+	}
+	tr.weightBuf = tr.model.CarveWeights(tr.spanBuf, s0, s1, tr.weightBuf)
+	return tr.weightBuf
+}
+
+// cost is the solution's hop-weighted interconnect: the model's span
+// cost summed over every net (integer sum — order-independent, so the
+// map iteration is safe).
+func (tr *slotTracker) cost() int {
+	total := 0
+	for _, span := range tr.spans {
+		total += tr.model.SpanCost(span)
+	}
+	return total
+}
+
+// partitionOnce builds one complete k-way solution or fails. The
+// returned tracker is nil unless a board-backed objective is armed.
+func partitionOnce(ctx context.Context, g *hypergraph.Graph, opts Options, attempt int, seed int64, sc *carveScratch) ([]Part, *slotTracker, error) {
 	r := rand.New(rand.NewSource(seed))
+	tr := newSlotTracker(opts.Objective)
 	queue := []*hypergraph.Graph{g}
 	var parts []Part
 	guard := 0
@@ -473,27 +560,36 @@ func partitionOnce(ctx context.Context, g *hypergraph.Graph, opts Options, attem
 		// only between carves, never inside FM, so every completed
 		// attempt is bit-identical with or without a deadline armed.
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		guard++
 		if guard > 4*g.NumCells()+64 {
-			return nil, fmt.Errorf("kway: recursion guard tripped (seed %d)", seed)
+			return nil, nil, fmt.Errorf("kway: recursion guard tripped (seed %d)", seed)
 		}
 		sub := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 
 		if dev, ok := opts.Library.CheapestFit(sub.TotalArea(), sub.NumTerminals()); ok {
+			if tr != nil {
+				if len(parts) >= tr.board.Slots {
+					return nil, nil, fmt.Errorf("kway: solution needs more than board %s's %d slots (seed %d)", tr.board.Name, tr.board.Slots, seed)
+				}
+				tr.place(sub, len(parts))
+			}
 			parts = append(parts, Part{Graph: sub, Device: dev, Replicas: countReplicas(sub)})
 			continue
 		}
-		carved, rest, dev, err := carve(ctx, sub, opts, attempt, seed, r, sc)
+		carved, rest, dev, err := carve(ctx, sub, opts, attempt, seed, r, sc, tr, len(parts))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if tr != nil {
+			tr.place(carved, len(parts))
 		}
 		parts = append(parts, Part{Graph: carved, Device: dev, Replicas: countReplicas(carved)})
 		queue = append(queue, rest)
 	}
-	return parts, nil
+	return parts, tr, nil
 }
 
 // scratchStats snapshots the replication-state counters when the
@@ -524,8 +620,21 @@ func emitCarve(opts *Options, attempt int, kind trace.Kind, reason string, dev s
 // carve splits off one device-sized block from sub. It tries several
 // (device, fill, seed) combinations and returns the first whose carved
 // block satisfies its host device's terminal constraint. seed is the
-// enclosing attempt's seed, used only to label injected faults.
-func carve(ctx context.Context, sub *hypergraph.Graph, opts Options, attempt int, seed int64, r *rand.Rand, sc *carveScratch) (carved, rest *hypergraph.Graph, dev library.Device, err error) {
+// enclosing attempt's seed, used only to label injected faults. With a
+// board tracker armed, the carved block is headed for slot s0 and the
+// remainder anchored at s0+1; every FM run of the carve then minimizes
+// the marginal hop-weighted span instead of the flat cut.
+func carve(ctx context.Context, sub *hypergraph.Graph, opts Options, attempt int, seed int64, r *rand.Rand, sc *carveScratch, tr *slotTracker, s0 int) (carved, rest *hypergraph.Graph, dev library.Device, err error) {
+	var weights []replication.NetWeights
+	if tr != nil {
+		// The remainder is non-empty (otherwise the subcircuit would
+		// have fitted a device), so the solution needs at least one
+		// slot beyond s0.
+		if s0+1 >= tr.board.Slots {
+			return nil, nil, library.Device{}, fmt.Errorf("kway: carve into slot %d needs a remainder slot but board %s has %d", s0, tr.board.Name, tr.board.Slots)
+		}
+		weights = tr.carveWeights(sub, s0, s0+1)
+	}
 	total := sub.TotalArea()
 	devices := opts.Library.Devices
 	var lastErr error
@@ -583,7 +692,7 @@ func carve(ctx context.Context, sub *hypergraph.Graph, opts Options, attempt int
 			continue
 		}
 		before := scratchStats(sc, sub)
-		st, res, cerr := carveFM(sub, d, target, total, opts, attempt, r.Int63(), termPressure, sc)
+		st, res, cerr := carveFM(sub, d, target, total, opts, attempt, r.Int63(), termPressure, sc, weights)
 		if cerr != nil {
 			lastErr = cerr
 			emitCarve(&opts, attempt, trace.KindCarveRejected, "fm", d.Name, target, 0, fm.Result{}, scratchStats(sc, sub).Sub(before))
@@ -683,7 +792,9 @@ func pickDevice(devices []library.Device, totalArea, desired int, density float6
 // carveFM runs (replication-)FM with asymmetric bounds: block 0 must
 // land in the device's utilization window, block 1 holds the rest.
 // With pinTerminals, the FM objective becomes t_P0 instead of the cut.
-func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Options, attempt int, seed int64, pinTerminals bool, sc *carveScratch) (*replication.State, fm.Result, error) {
+// A non-nil weights table switches the run to the weighted topology
+// objective (replication.SetNetWeights).
+func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Options, attempt int, seed int64, pinTerminals bool, sc *carveScratch, weights []replication.NetWeights) (*replication.State, fm.Result, error) {
 	// The carve must stay near its target: without a floor, FM
 	// minimizes the cut by collapsing block 0 to a handful of cells,
 	// which wastes a device per carve.
@@ -714,7 +825,7 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 	// flat seed rather than rejecting the carve.
 	flatSeed := true
 	if opts.Multilevel && sub.NumCells() >= opts.MultilevelMinCells {
-		ml, mlErr := multilevel.Run(sub, multilevel.Config{
+		mlCfg := multilevel.Config{
 			TargetArea:    target,
 			MinArea:       cfg.MinArea,
 			MaxArea:       cfg.MaxArea,
@@ -725,7 +836,13 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 			Trace:         opts.Trace,
 			TraceAttempt:  attempt,
 			Now:           opts.Now,
-		})
+		}
+		if weights != nil {
+			// Contraction preserves net names, so the V-cycle threads
+			// the carve's weight table to every level by name.
+			mlCfg.NetWeights = netWeightsByName(sub, weights)
+		}
+		ml, mlErr := multilevel.Run(sub, mlCfg)
 		if mlErr == nil {
 			sc.assign = append(sc.assign[:0], ml.Assign...)
 			flatSeed = false
@@ -750,6 +867,14 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 		}
 		sc.st = st
 	}
+	// Install (or clear) the carve's weighted objective. The flat path
+	// never enters this branch — weights are always nil and the scratch
+	// state never carries a table — so its byte-identity is structural.
+	if weights != nil || st.Weighted() {
+		if err := st.SetNetWeights(weights); err != nil {
+			return nil, fm.Result{}, err
+		}
+	}
 	if st.Area(0) > cfg.MaxArea[0] || st.Area(0) < cfg.MinArea[0] {
 		return nil, fm.Result{}, fmt.Errorf("kway: initial carve area %d outside [%d,%d]", st.Area(0), cfg.MinArea[0], cfg.MaxArea[0])
 	}
@@ -758,6 +883,16 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 		return nil, fm.Result{}, err
 	}
 	return st, res, nil
+}
+
+// netWeightsByName indexes a carve's weight table by net name, the
+// form the multilevel V-cycle threads through its coarse levels.
+func netWeightsByName(sub *hypergraph.Graph, w []replication.NetWeights) map[string]replication.NetWeights {
+	m := make(map[string]replication.NetWeights, len(w))
+	for ni := range w {
+		m[sub.Nets[ni].Name] = w[ni]
+	}
+	return m
 }
 
 // materialize splits the bipartitioned state into two standalone

@@ -24,6 +24,14 @@ func Refine(g *hypergraph.Graph, res *Result, opts Options) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if opts.Objective != nil && opts.Objective.Board() != nil {
+		// The pairwise sweep optimizes the flat terminal objective and
+		// re-materializes parts without re-checking board routing or
+		// re-scoring the hop-weighted interconnect, so board-backed
+		// runs skip it: the search's lexicographic fold already ranked
+		// solutions by topology cost.
+		return 0, nil
+	}
 	accepted := 0
 	for pass := 0; pass < 2; pass++ {
 		improvedThisPass := false

@@ -34,6 +34,13 @@ func (p Part) Feasible() bool { return p.Device.Fits(p.CLBs, p.Terminals) }
 // Solution is a k-way partition summary.
 type Solution struct {
 	Parts []Part
+	// TopoCost is the hop-weighted interconnect of the solution on a
+	// board topology (sum over nets of the Steiner span cost of the
+	// device slots the net touches; see internal/topology). It is
+	// meaningful only when HasTopo is set — flat terminal-cut runs
+	// leave both fields zero.
+	TopoCost int
+	HasTopo  bool
 }
 
 // K returns the number of partitions.
@@ -123,8 +130,11 @@ func (s Solution) DeviceCounts() map[string]int {
 }
 
 // Better reports whether s is preferable to t under the paper's
-// lexicographic objective: lower device cost first (Eq. 1), then lower
-// average IOB utilization (Eq. 2).
+// lexicographic objective: lower device cost first (Eq. 1), then —
+// when both solutions carry a board-topology score — lower
+// hop-weighted interconnect, then lower average IOB utilization
+// (Eq. 2). Flat solutions never set HasTopo, so the classic two-level
+// order is unchanged for them.
 func (s Solution) Better(t Solution) bool {
 	cs, ct := s.DeviceCost(), t.DeviceCost()
 	const eps = 1e-9
@@ -134,11 +144,18 @@ func (s Solution) Better(t Solution) bool {
 	if cs > ct+eps {
 		return false
 	}
+	if s.HasTopo && t.HasTopo && s.TopoCost != t.TopoCost {
+		return s.TopoCost < t.TopoCost
+	}
 	return s.AvgIOBUtil() < t.AvgIOBUtil()
 }
 
 // String renders a compact one-line summary.
 func (s Solution) String() string {
+	if s.HasTopo {
+		return fmt.Sprintf("k=%d cost=%.0f clb=%.0f%% iob=%.0f%% topo=%d",
+			s.K(), s.DeviceCost(), 100*s.AvgCLBUtil(), 100*s.AvgIOBUtil(), s.TopoCost)
+	}
 	return fmt.Sprintf("k=%d cost=%.0f clb=%.0f%% iob=%.0f%%",
 		s.K(), s.DeviceCost(), 100*s.AvgCLBUtil(), 100*s.AvgIOBUtil())
 }

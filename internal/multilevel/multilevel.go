@@ -103,6 +103,14 @@ type Config struct {
 	// uses the deterministic parallel sub-round engine with that many
 	// proposal workers, 0 or 1 the classic serial engine.
 	RefineWorkers int
+	// NetWeights, when non-nil, switches every refinement of the cycle
+	// (coarsest partition and per-level passes) to the weighted
+	// objective (replication.SetNetWeights): keys are finest-level net
+	// names. Contraction preserves the surviving nets' names — nets
+	// internal to a cluster vanish, never rename — so each level's
+	// weight table is derived by name lookup. Nets absent from the map
+	// get the zero table (they cost nothing in any configuration).
+	NetWeights map[string]replication.NetWeights
 	// Seed derives every random stream of the run.
 	Seed int64
 	// Trace, when non-nil, receives one trace.KindLevel event per
@@ -412,7 +420,10 @@ func initialPartition(lv level, cfg Config, w bounds, target int) ([]replication
 				if err != nil {
 					return sol{}, err
 				}
-				cutInit := st.CutSize()
+				if err := installWeights(st, cg, cfg.NetWeights); err != nil {
+					return sol{}, err
+				}
+				cutInit := st.Objective()
 				res, err := runner.Run(st, fm.Config{
 					MinArea: w.min, MaxArea: w.max,
 					Threshold:     fm.NoReplication,
@@ -476,7 +487,10 @@ func refineLevel(runner *fm.Runner, lv level, assign []replication.Block, cfg Co
 	if err != nil {
 		return nil, 0, LevelStats{}, fmt.Errorf("multilevel: level %d: %w", l, err)
 	}
-	cutProj := st.CutSize()
+	if err := installWeights(st, lv.g, cfg.NetWeights); err != nil {
+		return nil, 0, LevelStats{}, fmt.Errorf("multilevel: level %d: %w", l, err)
+	}
+	cutProj := st.Objective()
 	res, err := runner.Run(st, fm.Config{
 		MinArea: w.min, MaxArea: w.max,
 		Threshold:     fm.NoReplication,
@@ -553,6 +567,21 @@ func repair(g *hypergraph.Graph, assign []replication.Block, w bounds, seed int6
 		}
 	}
 	return moves, nil
+}
+
+// installWeights maps the finest-level weight table onto one level's
+// graph by net name and installs it; a nil map is the flat path and
+// costs nothing (CutProjected/CutRefined then report the plain cut,
+// exactly as before — st.Objective() == st.CutSize() when unweighted).
+func installWeights(st *replication.State, g *hypergraph.Graph, byName map[string]replication.NetWeights) error {
+	if byName == nil {
+		return nil
+	}
+	w := make([]replication.NetWeights, g.NumNets())
+	for ni := range g.Nets {
+		w[ni] = byName[g.Nets[ni].Name]
+	}
+	return st.SetNetWeights(w)
 }
 
 func areaOf(g *hypergraph.Graph, assign []replication.Block) int {

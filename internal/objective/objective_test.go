@@ -1,0 +1,77 @@
+package objective
+
+import (
+	"testing"
+
+	"fpgapart/internal/topology"
+)
+
+func TestTerminalCutIsInert(t *testing.T) {
+	var m Model = TerminalCut{}
+	if m.Board() != nil || m.SpanCost(topology.SlotSet(0).Add(1)) != 0 {
+		t.Fatal("terminal-cut model must be topology-free")
+	}
+	if w := m.CarveWeights(make([]topology.SlotSet, 3), 0, 1, nil); w != nil {
+		t.Fatalf("terminal-cut weights = %v, want nil (classic unit-cut path)", w)
+	}
+}
+
+func TestTopologyCarveWeightsLinear(t *testing.T) {
+	b, err := topology.Linear(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Model = NewTopology(b)
+	// Nets: empty span, span {0}, span {0,1}. Carve between s0=2, s1=3.
+	spans := []topology.SlotSet{0, topology.SlotSet(0).Add(0), topology.SlotSet(0).Add(0).Add(1)}
+	w := m.CarveWeights(spans, 2, 3, nil)
+	if len(w) != 3 {
+		t.Fatalf("%d weights, want 3", len(w))
+	}
+	// Empty span: landing anywhere alone costs 0, cut costs dist(2,3)=1.
+	if w[0].Alone != [2]int32{0, 0} || w[0].Both != 1 {
+		t.Fatalf("empty-span weights %+v", w[0])
+	}
+	// Span {0}: extend to 2 costs 2, to 3 costs 3, to both 3.
+	if w[1].Alone != [2]int32{2, 3} || w[1].Both != 3 {
+		t.Fatalf("span{0} weights %+v", w[1])
+	}
+	// Span {0,1}: extend to 2 costs 1, to 3 costs 2, to both 2.
+	if w[2].Alone != [2]int32{1, 2} || w[2].Both != 2 {
+		t.Fatalf("span{0,1} weights %+v", w[2])
+	}
+	if m.SpanCost(spans[2]) != 1 {
+		t.Fatalf("span cost {0,1} = %d, want 1", m.SpanCost(spans[2]))
+	}
+}
+
+func TestTopologyCarveWeightsCrossbar(t *testing.T) {
+	b, err := topology.Crossbar(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewTopology(b)
+	// On a crossbar every new slot costs 1 once the span is non-empty,
+	// so cutting always costs exactly 1 more than not cutting: the
+	// flat-cut regime with a constant offset.
+	spans := []topology.SlotSet{0, topology.SlotSet(0).Add(0), topology.SlotSet(0).Add(0).Add(1)}
+	for i, w := range m.CarveWeights(spans, 2, 3, nil) {
+		if w.Both-w.Alone[0] != 1 || w.Both-w.Alone[1] != 1 {
+			t.Fatalf("net %d: crossbar weights %+v not cut+1", i, w)
+		}
+	}
+}
+
+func TestCarveWeightsReuseBuffer(t *testing.T) {
+	b, err := topology.Mesh(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewTopology(b)
+	spans := make([]topology.SlotSet, 8)
+	first := m.CarveWeights(spans, 0, 1, nil)
+	second := m.CarveWeights(spans, 0, 1, first)
+	if &first[0] != &second[0] {
+		t.Fatal("buffer not reused")
+	}
+}

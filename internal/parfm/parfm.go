@@ -157,7 +157,7 @@ type Runner struct {
 	curMax int // highest possibly-non-empty bucket index
 	epoch  int32
 
-	gainOf   int // gain offset = max |gain| = max cell degree
+	gainOf   int // gain offset = max |gain| (st.MaxMoveGain)
 	replOnly bool
 	passSeq  int
 }
@@ -172,8 +172,8 @@ func Run(st *replication.State, cfg Config) (Result, error) {
 // only when the graph (or worker count) changed.
 func (r *Runner) bind(st *replication.State, workers int) {
 	n := st.Graph().NumCells()
-	if r.st == nil || r.st.Graph() != st.Graph() || len(r.locked) != n || r.gainOf != st.MaxCellDegree() {
-		r.gainOf = st.MaxCellDegree()
+	if r.st == nil || r.st.Graph() != st.Graph() || len(r.locked) != n || r.gainOf != st.MaxMoveGain() {
+		r.gainOf = st.MaxMoveGain()
 		r.locked = make([]bool, n)
 		r.prop = make([]proposal, n)
 		r.dirty = make([]int32, n)
@@ -274,7 +274,10 @@ func (r *Runner) pass(res *Result) (bool, int) {
 	for i := range r.locked {
 		r.locked[i] = false
 	}
-	startCut := st.CutSize()
+	// Best-prefix tracking minimizes the state's objective: plain cut
+	// size, or the weighted topology cost when a net weight table is
+	// installed (identical on unweighted states).
+	startCut := st.Objective()
 	bestCut := startCut
 	bestTok := st.Mark()
 	moves := 0
@@ -343,7 +346,7 @@ func (r *Runner) pass(res *Result) (bool, int) {
 					}
 				}
 			}
-			if cut := st.CutSize(); cut < bestCut {
+			if cut := st.Objective(); cut < bestCut {
 				bestCut = cut
 				bestTok = st.Mark()
 				sinceBest = 0

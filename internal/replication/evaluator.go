@@ -103,8 +103,9 @@ func (ev *Evaluator) reset() {
 	ev.delta = ev.delta[:0]
 }
 
-// Gain returns the exact cut-size reduction of applying m — identical
-// to State.Gain, but reentrant across evaluators.
+// Gain returns the exact objective reduction of applying m — identical
+// to State.Gain (cut size, or weighted topology cost when the state
+// has a weight table installed), but reentrant across evaluators.
 func (ev *Evaluator) Gain(m Move) (int, error) {
 	s := ev.s
 	nw, err := s.newOwn(m)
@@ -116,8 +117,13 @@ func (ev *Evaluator) Gain(m Move) (int, error) {
 	gain := 0
 	for i, n := range ev.nets {
 		c0, c1 := s.cnt[n][0], s.cnt[n][1]
-		wasCut := c0 > 0 && c1 > 0
 		n0, n1 := c0+ev.delta[i][0], c1+ev.delta[i][1]
+		if s.netW != nil {
+			w := &s.netW[n]
+			gain += int(costAt(w, c0, c1) - costAt(w, n0, n1))
+			continue
+		}
+		wasCut := c0 > 0 && c1 > 0
 		isCut := n0 > 0 && n1 > 0
 		if wasCut && !isCut {
 			gain++
@@ -147,6 +153,13 @@ func (ev *Evaluator) SingleGain(c hypergraph.CellID) int {
 	s := ev.s
 	h := s.home[c]
 	g := int32(0)
+	if s.netW != nil {
+		for i := s.adjOff[c]; i < s.adjOff[c+1]; i++ {
+			n := s.adjNet[i]
+			g += phiW(&s.netW[n], s.cnt[n][0], s.cnt[n][1], s.adjK[i], h)
+		}
+		return int(g)
+	}
 	for i := s.adjOff[c]; i < s.adjOff[c+1]; i++ {
 		n := s.adjNet[i]
 		g += phi(s.cnt[n][h], s.cnt[n][h.Other()], s.adjK[i])

@@ -146,6 +146,12 @@ type State struct {
 	term  [2]int  // per block: incrementally maintained Terminals(b)
 	gainS []int32 // per cell: maintained single-move gain (unreplicated cells)
 
+	// Weighted objective (see weights.go). netW == nil selects the
+	// classic unit-cut objective with zero hot-path overhead.
+	netW        []NetWeights
+	topo        int // maintained Σ costAt(net) while netW != nil
+	maxMoveGain int // |gain| bound under the current objective
+
 	trail []trailEntry
 
 	// scratch buffers for delta accumulation
@@ -261,8 +267,8 @@ func (s *State) buildStatic() error {
 	s.adjOff = make([]int32, n+1)
 	s.adjNet = make([]hypergraph.NetID, 0, totalPins)
 	s.adjK = make([]int32, 0, totalPins)
-	mark := make([]int32, m)  // net -> cell stamp (index+1)
-	pos := make([]int32, m)   // net -> position in adjNet for that cell
+	mark := make([]int32, m) // net -> cell stamp (index+1)
+	pos := make([]int32, m)  // net -> position in adjNet for that cell
 	for i := range mark {
 		mark[i] = -1
 	}
@@ -294,6 +300,7 @@ func (s *State) buildStatic() error {
 			s.maxDeg = d
 		}
 	}
+	s.maxMoveGain = s.maxDeg
 
 	// Inverse: net -> cells with k > 0.
 	s.netOff = make([]int32, m+1)
@@ -359,8 +366,9 @@ func computeSplits(mo int, all uint32) []uint32 {
 }
 
 // Reset reinitializes the partition to a fresh replication-free
-// assignment, keeping the external-pin mode and reusing every
-// allocated per-net/per-cell array. The undo trail is discarded.
+// assignment, keeping the external-pin mode and any installed net
+// weight table (see SetNetWeights) and reusing every allocated
+// per-net/per-cell array. The undo trail is discarded.
 func (s *State) Reset(assign []Block) error {
 	return s.ResetPinned(assign, s.extPin)
 }
@@ -416,9 +424,13 @@ func (s *State) ResetPinned(assign []Block, pinExternal bool) error {
 			s.cnt[s.adjNet[i]][b] += s.adjK[i]
 		}
 	}
+	s.topo = 0
 	for ni := range g.Nets {
 		if s.cnt[ni][0] > 0 && s.cnt[ni][1] > 0 {
 			s.cut++
+		}
+		if s.netW != nil {
+			s.topo += int(costAt(&s.netW[ni], s.cnt[ni][0], s.cnt[ni][1]))
 		}
 		for b := Block(0); b < 2; b++ {
 			if s.termStatus(hypergraph.NetID(ni), b, s.cnt[ni][0], s.cnt[ni][1]) {
@@ -639,8 +651,9 @@ func (s *State) resetScratch() {
 	s.scratchDelta = s.scratchDelta[:0]
 }
 
-// Gain returns the exact cut-size reduction of applying m: positive
-// gains shrink the cut. The state is not modified.
+// Gain returns the exact objective reduction of applying m: positive
+// gains shrink the cut (or, with a weight table installed, the
+// weighted topology cost). The state is not modified.
 func (s *State) Gain(m Move) (int, error) {
 	nw, err := s.newOwn(m)
 	if err != nil {
@@ -651,8 +664,13 @@ func (s *State) Gain(m Move) (int, error) {
 	gain := 0
 	for i, n := range s.scratchNets {
 		c0, c1 := s.cnt[n][0], s.cnt[n][1]
-		wasCut := c0 > 0 && c1 > 0
 		n0, n1 := c0+s.scratchDelta[i][0], c1+s.scratchDelta[i][1]
+		if s.netW != nil {
+			w := &s.netW[n]
+			gain += int(costAt(w, c0, c1) - costAt(w, n0, n1))
+			continue
+		}
+		wasCut := c0 > 0 && c1 > 0
 		isCut := n0 > 0 && n1 > 0
 		if wasCut && !isCut {
 			gain++
@@ -771,6 +789,13 @@ func phi(f, t, k int32) int32 {
 func (s *State) computeSingleGain(c hypergraph.CellID) int32 {
 	h := s.home[c]
 	g := int32(0)
+	if s.netW != nil {
+		for i := s.adjOff[c]; i < s.adjOff[c+1]; i++ {
+			n := s.adjNet[i]
+			g += phiW(&s.netW[n], s.cnt[n][0], s.cnt[n][1], s.adjK[i], h)
+		}
+		return g
+	}
 	for i := s.adjOff[c]; i < s.adjOff[c+1]; i++ {
 		n := s.adjNet[i]
 		g += phi(s.cnt[n][h], s.cnt[n][h.Other()], s.adjK[i])
@@ -804,6 +829,7 @@ func (s *State) termStatus(n hypergraph.NetID, b Block, c0, c1 int32) bool {
 // are final.
 func (s *State) commit(c hypergraph.CellID, nw [2]uint32) {
 	old := s.own[c]
+	weighted := s.netW != nil
 	s.accumulateDeltas(c, old, nw)
 	for i, n := range s.scratchNets {
 		c0, c1 := s.cnt[n][0], s.cnt[n][1]
@@ -814,6 +840,10 @@ func (s *State) commit(c hypergraph.CellID, nw [2]uint32) {
 			s.cut--
 		} else if !wasCut && isCut {
 			s.cut++
+		}
+		if weighted {
+			w := &s.netW[n]
+			s.topo += int(costAt(w, n0, n1) - costAt(w, c0, c1))
 		}
 		// Terminal-status transitions, inlined from termStatus with the
 		// block-1 count pre-adjusted for the virtual pin connection.
@@ -843,9 +873,12 @@ func (s *State) commit(c hypergraph.CellID, nw [2]uint32) {
 		}
 		// Neighbor gain deltas. phi depends on t only through the cut
 		// flag, so a block's cells can only see a delta when their own
-		// side's count or the cut status changed. With maintenance off
-		// both flags stay false, so the sweep below only records the
-		// touched neighborhood.
+		// side's count or the cut status changed — and the same holds
+		// for phiW: its cross-side dependence is the (count > 0) flag,
+		// which cannot flip without flipping the cut flag while an
+		// unreplicated neighbor holds k > 0 connections on its own
+		// side. With maintenance off both flags stay false, so the
+		// sweep below only records the touched neighborhood.
 		changed0 := (c0 != n0 || wasCut != isCut) && s.maintainGains
 		changed1 := (c1 != n1 || wasCut != isCut) && s.maintainGains
 		if changed0 || changed1 || s.recordTouched {
@@ -862,7 +895,10 @@ func (s *State) commit(c hypergraph.CellID, nw [2]uint32) {
 				if h == 0 && !changed0 || h == 1 && !changed1 {
 					continue
 				}
-				if h == 0 {
+				if weighted {
+					w := &s.netW[n]
+					s.gainS[cc] += phiW(w, n0, n1, nc.k, h) - phiW(w, c0, c1, nc.k, h)
+				} else if h == 0 {
 					s.gainS[cc] += phi(n0, n1, nc.k) - phi(c0, c1, nc.k)
 				} else {
 					s.gainS[cc] += phi(n1, n0, nc.k) - phi(c1, c0, nc.k)
@@ -922,6 +958,7 @@ type Checkpoint struct {
 	valid    bool
 	trailLen int
 	cut      int
+	topo     int
 	area     [2]int
 	term     [2]int
 	own      [][2]uint32
@@ -952,6 +989,7 @@ func (s *State) SaveCheckpoint(cp *Checkpoint) {
 	copy(cp.cnt, s.cnt)
 	cp.trailLen = len(s.trail)
 	cp.cut, cp.area, cp.term = s.cut, s.area, s.term
+	cp.topo = s.topo
 	cp.valid = true
 }
 
@@ -978,6 +1016,7 @@ func (s *State) RestoreCheckpoint(cp *Checkpoint) error {
 	s.stats.Rollbacks += int64(len(s.trail) - cp.trailLen)
 	s.trail = s.trail[:cp.trailLen]
 	s.cut, s.area, s.term = cp.cut, cp.area, cp.term
+	s.topo = cp.topo
 	return nil
 }
 
@@ -1139,7 +1178,7 @@ func (s *State) CheckInvariants() error {
 			}
 		}
 	}
-	cut := 0
+	cut, topo := 0, 0
 	for ni := range s.g.Nets {
 		if cnt[ni] != s.cnt[ni] {
 			return fmt.Errorf("net %q counts %v, cached %v", s.g.Nets[ni].Name, cnt[ni], s.cnt[ni])
@@ -1147,9 +1186,15 @@ func (s *State) CheckInvariants() error {
 		if cnt[ni][0] > 0 && cnt[ni][1] > 0 {
 			cut++
 		}
+		if s.netW != nil {
+			topo += int(costAt(&s.netW[ni], cnt[ni][0], cnt[ni][1]))
+		}
 	}
 	if cut != s.cut {
 		return fmt.Errorf("cut %d, cached %d", cut, s.cut)
+	}
+	if s.netW != nil && topo != s.topo {
+		return fmt.Errorf("topology cost %d, cached %d", topo, s.topo)
 	}
 	if area != s.area {
 		return fmt.Errorf("area %v, cached %v", area, s.area)

@@ -16,6 +16,7 @@ import (
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/techmap"
+	"fpgapart/internal/topology"
 	"fpgapart/internal/trace"
 )
 
@@ -48,6 +49,12 @@ type JobRequest struct {
 	// TimeoutMS bounds the search wall clock (0 = server default,
 	// capped at the server maximum).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Board, when non-empty, is a board topology spec — crossbar:N[:CAP],
+	// linear:N[:CAP] or mesh:RxC[:CAP] — switching the search to the
+	// hop-weighted interconnect objective (see core.Options.Board). Only
+	// inline specs are accepted; board-description files stay a CLI
+	// feature because an HTTP request must not name server-side paths.
+	Board string `json:"board,omitempty"`
 }
 
 // JobStatus is the API view of a job.
@@ -74,6 +81,8 @@ type JobResult struct {
 	Feasible        int           `json:"feasible"`
 	Failed          int           `json:"failed"`
 	Stopped         string        `json:"stopped,omitempty"`
+	Board           string        `json:"board,omitempty"`
+	TopoCost        *int          `json:"topo_cost,omitempty"`
 	Degraded        bool          `json:"degraded"`
 	Panicked        int           `json:"panicked,omitempty"`
 	PanickedSeeds   []int64       `json:"panicked_seeds,omitempty"`
@@ -89,7 +98,7 @@ type PartSummary struct {
 	Replicas  int    `json:"replicas"`
 }
 
-func resultJSON(g *hypergraph.Graph, res core.Result) *JobResult {
+func resultJSON(g *hypergraph.Graph, res core.Result, board *topology.Board) *JobResult {
 	out := &JobResult{
 		Circuit:         g.Name,
 		K:               res.Summary.K(),
@@ -104,6 +113,11 @@ func resultJSON(g *hypergraph.Graph, res core.Result) *JobResult {
 		Degraded:        res.Degraded,
 		Panicked:        res.Panicked,
 		PanickedSeeds:   res.PanickedSeeds,
+	}
+	if res.Summary.HasTopo && board != nil {
+		out.Board = board.Name
+		topo := res.Summary.TopoCost
+		out.TopoCost = &topo
 	}
 	for _, p := range res.Parts {
 		out.Parts = append(out.Parts, PartSummary{
@@ -229,6 +243,15 @@ func (s *Server) parseRequest(req *JobRequest) (*hypergraph.Graph, core.Options,
 	if req.Threshold != nil {
 		opts.Threshold = *req.Threshold
 	}
+	if req.Board != "" {
+		// ParseSpec only — never FromArg: a request must not be able to
+		// point the server at a filesystem path.
+		b, err := topology.ParseSpec(req.Board)
+		if err != nil {
+			return nil, core.Options{}, 0, err
+		}
+		opts.Board = b
+	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -263,6 +286,7 @@ func decodeRequest(r *http.Request) (*JobRequest, error) {
 	q := r.URL.Query()
 	req.ID = q.Get("id")
 	req.Format = q.Get("format")
+	req.Board = q.Get("board")
 	if v := q.Get("seed"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {

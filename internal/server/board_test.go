@@ -1,0 +1,65 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSyncPartitionWithBoard runs a synchronous job against a mesh
+// board spec and checks the result carries the topology score, both
+// through the JSON schema and the raw-body query-parameter form.
+func TestSyncPartitionWithBoard(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	circuit := circuitText(t, 120, 1)
+
+	resp, st := postJSON(t, ts.URL+"/v1/partition", JobRequest{
+		Circuit: circuit, Solutions: 3, Seed: 1, Board: "mesh:2x2:4096",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync with board: %d (%+v)", resp.StatusCode, st)
+	}
+	if st.Result == nil || st.Result.TopoCost == nil || st.Result.Board == "" {
+		t.Fatalf("result lacks topology score: %+v", st.Result)
+	}
+
+	resp2, err := http.Post(ts.URL+"/v1/partition?solutions=3&seed=1&board=mesh:2x2:4096", "text/plain", strings.NewReader(circuit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st2 JobStatus
+	json.NewDecoder(resp2.Body).Decode(&st2)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("sync raw with board: %d (%+v)", resp2.StatusCode, st2)
+	}
+	if st2.Result == nil || st2.Result.TopoCost == nil || *st2.Result.TopoCost != *st.Result.TopoCost {
+		t.Fatalf("raw board result diverged: %+v vs %+v", st2.Result, st.Result)
+	}
+
+	// A board-free run of the same job must omit the topology fields.
+	respFlat, stFlat := postJSON(t, ts.URL+"/v1/partition", JobRequest{Circuit: circuit, Solutions: 3, Seed: 1})
+	if respFlat.StatusCode != http.StatusOK {
+		t.Fatalf("flat sync: %d", respFlat.StatusCode)
+	}
+	if stFlat.Result == nil || stFlat.Result.TopoCost != nil || stFlat.Result.Board != "" {
+		t.Fatalf("flat result carries topology fields: %+v", stFlat.Result)
+	}
+}
+
+// TestBoardSpecRejected pins the request-surface contract: malformed
+// specs and file paths are 400s — the server never resolves a board
+// argument against its filesystem.
+func TestBoardSpecRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	circuit := circuitText(t, 120, 1)
+	for _, board := range []string{"mesh:axb", "/etc/boards/mesh.board", "boards/mesh.board"} {
+		resp, st := postJSON(t, ts.URL+"/v1/partition", JobRequest{
+			Circuit: circuit, Solutions: 3, Seed: 1, Board: board,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("board %q: status %d, want 400 (%+v)", board, resp.StatusCode, st)
+		}
+	}
+}

@@ -322,7 +322,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.state = StateDone
-	j.result = resultJSON(j.graph, res)
+	j.result = resultJSON(j.graph, res, j.opts.Board)
 	s.met.jobsDone.Inc()
 	if res.Degraded {
 		s.met.degraded.Inc()

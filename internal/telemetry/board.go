@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"fpgapart/internal/topology"
+)
+
+// BoardGauges publishes per-link utilization of a board topology:
+// MetricLinkLoad carries the routed net load of each link (fed by the
+// caller, typically from verify.LinkLoads on the winning solution) and
+// MetricLinkCapacity its configured capacity (set once at
+// construction). Series are labeled "link"="A-B" in link-index order,
+// so load/capacity pairs join on the label.
+type BoardGauges struct {
+	load []*Gauge
+}
+
+// NewBoardGauges registers one load and one capacity series per board
+// link on r and returns the load setter.
+func NewBoardGauges(r *Registry, b *topology.Board) *BoardGauges {
+	loadVec := r.GaugeVec(MetricLinkLoad, "Distinct nets routed over the board link by the winning solution.", "link")
+	capVec := r.GaugeVec(MetricLinkCapacity, "Configured net capacity of the board link.", "link")
+	bg := &BoardGauges{load: make([]*Gauge, len(b.Links))}
+	for i, l := range b.Links {
+		label := fmt.Sprintf("%d-%d", l.A, l.B)
+		bg.load[i] = loadVec.With(label)
+		capVec.With(label).Set(int64(l.Capacity))
+	}
+	return bg
+}
+
+// SetLoads publishes the per-link loads, indexed like Board.Links
+// (verify.LinkLoads returns exactly this shape). Extra entries are
+// ignored so a stale slice cannot panic the exporter.
+func (bg *BoardGauges) SetLoads(loads []int) {
+	for i, g := range bg.load {
+		if i >= len(loads) {
+			return
+		}
+		g.Set(int64(loads[i]))
+	}
+}

@@ -29,6 +29,13 @@ const (
 	MetricParCommits       = "fpgapart_parfm_commits_total"
 	MetricParStale         = "fpgapart_parfm_stale_total"
 	MetricParCommitsPerRnd = "fpgapart_parfm_commits_per_round"
+
+	// Topology metrics, populated only on board-backed runs (solution
+	// events with HasTopo; see internal/topology and BoardGauges).
+	MetricTopoBest     = "fpgapart_best_topo_cost"
+	MetricTopoCost     = "fpgapart_solution_topo_cost"
+	MetricLinkLoad     = "fpgapart_board_link_load"
+	MetricLinkCapacity = "fpgapart_board_link_capacity"
 )
 
 // rejectReasons are the static carve-rejection codes emitted by the
@@ -84,6 +91,9 @@ type Bridge struct {
 	parCommits       *Counter
 	parStale         *Counter
 	parCommitsPerRnd *Histogram
+
+	topoBest *Gauge
+	topoCost *Histogram
 }
 
 // NewBridge registers the engine metric families on r and returns the
@@ -112,6 +122,9 @@ func NewBridge(r *Registry) *Bridge {
 		parCommits:       r.Counter(MetricParCommits, "Proposals committed by the parallel-refinement committer."),
 		parStale:         r.Counter(MetricParStale, "Proposals invalidated by an earlier commit's neighborhood."),
 		parCommitsPerRnd: r.Histogram(MetricParCommitsPerRnd, "Commits applied per parallel-refinement sub-round.", ExpBuckets(1, 2, 8)),
+
+		topoBest: r.Gauge(MetricTopoBest, "Hop-weighted interconnect of the incumbent best solution (board-backed runs only)."),
+		topoCost: r.Histogram(MetricTopoCost, "Hop-weighted interconnect per feasible solution (board-backed runs only).", ExpBuckets(1, 2, 16)),
 	}
 	rej := r.CounterVec(MetricCarveRejected, "Carve attempts rejected, by static rejection code.", "reason")
 	for _, reason := range rejectReasons {
@@ -156,6 +169,12 @@ func (b *Bridge) Event(e trace.Event) {
 		}
 		if e.Panic {
 			b.panics.Inc()
+		}
+		if e.HasTopo && e.Feasible {
+			b.topoCost.Observe(float64(e.Topo))
+			if e.Improved {
+				b.topoBest.Set(int64(e.Topo))
+			}
 		}
 	case trace.KindPhase:
 		h, ok := b.phase[e.Phase]

@@ -118,6 +118,13 @@ type Event struct {
 	Cost     float64
 	Parts    int
 	Improved bool
+	// Topology fields (KindSolution): Topo is the solution's
+	// hop-weighted interconnect on the armed board topology; HasTopo
+	// marks it meaningful. Flat terminal-cut runs never set HasTopo,
+	// so their serialized streams are byte-identical to pre-topology
+	// releases.
+	Topo    int
+	HasTopo bool
 	// Panic marks a failed solution attempt that died to a contained
 	// worker panic (Reason carries the panic message); the run is
 	// degraded but alive.
@@ -286,6 +293,9 @@ func (j *JSONL) Event(e Event) {
 			b = append(b, `,"cost":`...)
 			b = strconv.AppendFloat(b, e.Cost, 'g', -1, 64)
 			b = appendIntField(b, "parts", e.Parts)
+			if e.HasTopo {
+				b = appendIntField(b, "topo", e.Topo)
+			}
 			b = append(b, `,"improved":`...)
 			b = strconv.AppendBool(b, e.Improved)
 		} else {

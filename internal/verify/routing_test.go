@@ -1,0 +1,118 @@
+package verify
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/topology"
+)
+
+// routePart builds a one-cell part graph touching the named nets:
+// ins are external inputs, outs external outputs.
+func routePart(t *testing.T, name string, ins, outs []string) *hypergraph.Graph {
+	t.Helper()
+	b := hypergraph.NewBuilder(name)
+	var inIDs, outIDs []hypergraph.NetID
+	for _, n := range ins {
+		inIDs = append(inIDs, b.InputNet(n))
+	}
+	for _, n := range outs {
+		outIDs = append(outIDs, b.OutputNet(n))
+	}
+	b.AddCell(hypergraph.CellSpec{Name: name + ".u", Inputs: inIDs, Outputs: outIDs})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// narrowBoard is two slots joined by one link of the given capacity.
+func narrowBoard(t *testing.T, capacity int) *topology.Board {
+	t.Helper()
+	b, err := topology.New("narrow", 2, []topology.Link{{A: 0, B: 1, Capacity: capacity, Cost: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRoutingRejectsOverloadedLink(t *testing.T) {
+	board := narrowBoard(t, 1)
+	parts := []*hypergraph.Graph{
+		routePart(t, "p0", nil, []string{"na", "nb"}),
+		routePart(t, "p1", []string{"na", "nb"}, []string{"po"}),
+	}
+	err := Routing(board, parts)
+	if err == nil {
+		t.Fatal("two nets over a capacity-1 link accepted")
+	}
+	var rerr *RouteError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("error is %T, want *RouteError", err)
+	}
+	if rerr.LinkIndex != 0 || rerr.Load != 2 {
+		t.Fatalf("RouteError = %+v, want link 0 load 2", rerr)
+	}
+	if rerr.Link.A != 0 || rerr.Link.B != 1 || rerr.Link.Capacity != 1 {
+		t.Fatalf("RouteError.Link = %+v", rerr.Link)
+	}
+	if len(rerr.Nets) != 2 || rerr.Nets[0] != "na" || rerr.Nets[1] != "nb" {
+		t.Fatalf("RouteError.Nets = %v, want [na nb]", rerr.Nets)
+	}
+	for _, name := range []string{"0–1", "2 nets", "capacity 1", "na", "nb"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not name %q", err, name)
+		}
+	}
+}
+
+func TestRoutingAcceptsWithinCapacity(t *testing.T) {
+	board := narrowBoard(t, 2)
+	parts := []*hypergraph.Graph{
+		routePart(t, "p0", nil, []string{"na", "nb"}),
+		routePart(t, "p1", []string{"na", "nb"}, []string{"po"}),
+	}
+	if err := Routing(board, parts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoutingRejectsMorePartsThanSlots(t *testing.T) {
+	board := narrowBoard(t, 4)
+	parts := []*hypergraph.Graph{
+		routePart(t, "p0", nil, []string{"na"}),
+		routePart(t, "p1", []string{"na"}, []string{"nb"}),
+		routePart(t, "p2", []string{"nb"}, []string{"po"}),
+	}
+	if err := Routing(board, parts); err == nil {
+		t.Fatal("3 parts on a 2-slot board accepted")
+	}
+}
+
+// TestLinkLoadsRoutesThroughIntermediateSlots pins the load model: a
+// net spanning the ends of a linear board loads every link on the
+// route, including those of slots the net does not touch, and
+// single-slot nets load nothing.
+func TestLinkLoadsRoutesThroughIntermediateSlots(t *testing.T) {
+	board, err := topology.Linear(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := []*hypergraph.Graph{
+		routePart(t, "p0", nil, []string{"far"}),
+		routePart(t, "p1", nil, []string{"local"}),
+		routePart(t, "p2", []string{"far", "local2"}, []string{"po"}),
+	}
+	// "local" touches only slot 1; "local2" only slot 2; "far" spans
+	// slots 0 and 2 and must load links 0–1 and 1–2.
+	loads := LinkLoads(board, parts)
+	if len(loads) != 2 || loads[0] != 1 || loads[1] != 1 {
+		t.Fatalf("loads = %v, want [1 1]", loads)
+	}
+	if err := Routing(board, parts); err != nil {
+		t.Fatal(err)
+	}
+}
