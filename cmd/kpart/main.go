@@ -8,7 +8,13 @@
 //
 // Usage:
 //
-//	kpart [-t 1] [-solutions 50] [-seed 1] [-timeout 30s] [-gate] [-v] circuit.clb
+//	kpart [-t 1] [-solutions 50] [-seed 1] [-timeout 30s] [-gate] [-v]
+//	      [-store dir] [-resume dir] [-checkpoint-every 1] circuit.clb
+//
+// With -store, the search reduction is persisted to a crash-safe
+// append-only store after every -checkpoint-every folded attempts;
+// -resume continues an interrupted run from the newest checkpoint
+// (the trace stream reports the resume point as resumed_from_attempt).
 //
 // Exit codes: 0 = success; 1 = error (I/O, configuration,
 // verification); 2 = infeasible instance (the full attempt budget ran
@@ -30,6 +36,7 @@ import (
 
 	"fpgapart/internal/core"
 	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/jobstore"
 	"fpgapart/internal/kway"
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/prof"
@@ -59,6 +66,9 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "stream structured engine events (FM passes, carves, solutions) as JSONL to this file")
 	board := flag.String("board", "", "multi-FPGA board topology: a spec (crossbar:N[:CAP], linear:N[:CAP], mesh:RxC[:CAP]) or a board-description file; switches the search to the hop-weighted interconnect objective")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (Prometheus text format 0.0.4) to this file")
+	storeDir := flag.String("store", "", "durable checkpoint store directory: the search reduction is persisted every -checkpoint-every folded attempts so an interrupted run can continue with -resume")
+	resumeDir := flag.String("resume", "", "resume an interrupted run from the newest checkpoint in this store directory (implies -store DIR; flags and circuit must match the original run)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "durable checkpoint cadence in folded attempts (with -store)")
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: kpart [flags] <circuit.clb|circuit.gnl>")
@@ -100,6 +110,9 @@ exit codes:
 		statsJSON:     *statsJSON,
 		metricsOut:    *metricsOut,
 		board:         *board,
+		storeDir:      *storeDir,
+		resumeDir:     *resumeDir,
+		ckptEvery:     *ckptEvery,
 	})
 	if perr := stopProf(); err == nil {
 		err = perr
@@ -148,6 +161,52 @@ type runConfig struct {
 	statsJSON     string
 	metricsOut    string
 	board         string
+	storeDir      string
+	resumeDir     string
+	ckptEvery     int
+}
+
+// cliJobID is the fixed job identity a CLI run records in its store;
+// one store directory holds one resumable run.
+const cliJobID = "cli"
+
+// openRunStore opens (or creates) the durable checkpoint store and,
+// for -resume, loads the newest persisted checkpoint of the prior run.
+func openRunStore(cfg runConfig) (*jobstore.Store, *kway.SearchCheckpoint, error) {
+	dir := cfg.storeDir
+	if dir == "" {
+		dir = cfg.resumeDir
+	}
+	store, jobs, err := jobstore.Open(jobstore.Options{Dir: dir})
+	if err != nil {
+		return nil, nil, err
+	}
+	var resume *kway.SearchCheckpoint
+	if cfg.resumeDir != "" {
+		for _, j := range jobs {
+			if j.ID != cliJobID || len(j.Checkpoint) == 0 {
+				continue
+			}
+			cp := new(kway.SearchCheckpoint)
+			if err := json.Unmarshal(j.Checkpoint, cp); err != nil {
+				store.Close()
+				return nil, nil, fmt.Errorf("resume %s: corrupt checkpoint: %w", cfg.resumeDir, err)
+			}
+			resume = cp
+		}
+		if resume == nil {
+			fmt.Fprintf(os.Stderr, "kpart: no checkpoint in %s; starting fresh\n", cfg.resumeDir)
+		}
+	}
+	if store.Job(cliJobID) == nil {
+		if err := store.AppendSubmit(cliJobID, map[string]any{
+			"circuit": cfg.path, "solutions": cfg.solutions, "seed": cfg.seed,
+		}); err != nil {
+			store.Close()
+			return nil, nil, err
+		}
+	}
+	return store, resume, nil
 }
 
 // progressSink prints one stderr line per folded solution attempt.
@@ -232,11 +291,25 @@ func run(cfg runConfig) error {
 		}
 	}
 
+	// Durable checkpoint store: every persisted snapshot is fsync'd
+	// before the append returns, so a crash at any point loses at most
+	// the attempts folded since the last checkpoint.
+	var store *jobstore.Store
+	var resumeCP *kway.SearchCheckpoint
+	var storeErr error
+	if cfg.storeDir != "" || cfg.resumeDir != "" {
+		store, resumeCP, err = openRunStore(cfg)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+	}
+
 	sink := trace.Multi(sinks...)
 	if sink != nil {
 		sink.Event(trace.Event{Kind: trace.KindPhase, Attempt: -1, Phase: trace.PhaseParse, Dur: time.Since(parseStart)})
 	}
-	res, err := core.Partition(g, core.Options{
+	opts := core.Options{
 		Threshold:     cfg.threshold,
 		Solutions:     cfg.solutions,
 		Seed:          cfg.seed,
@@ -247,7 +320,17 @@ func run(cfg runConfig) error {
 		RefineWorkers: cfg.refineWorkers,
 		Trace:         sink,
 		Board:         board,
-	})
+		Resume:        resumeCP,
+	}
+	if store != nil {
+		opts.CheckpointEvery = cfg.ckptEvery
+		opts.Checkpoint = func(cp kway.SearchCheckpoint) {
+			if err := store.AppendCheckpoint(cliJobID, cp); err != nil && storeErr == nil {
+				storeErr = fmt.Errorf("checkpoint store: %w", err)
+			}
+		}
+	}
+	res, err := core.Partition(g, opts)
 	if boardGauges != nil && err == nil {
 		graphs := make([]*hypergraph.Graph, len(res.Parts))
 		for i, p := range res.Parts {
@@ -279,6 +362,19 @@ func run(cfg runConfig) error {
 			err = merr
 		}
 	}
+	if store != nil && err == nil && storeErr == nil {
+		// A terminal record marks the store complete; a later -resume of
+		// the same directory replays the finished reduction and exits 0
+		// instead of redoing the search.
+		if derr := store.AppendDone(cliJobID, map[string]any{"device_cost": res.Summary.DeviceCost()}); derr != nil {
+			storeErr = derr
+		}
+	}
+	if storeErr != nil && err == nil {
+		// Durability is a deliverable: a store the run could not append
+		// to must fail loudly, not pose as a valid resume point.
+		err = fmt.Errorf("checkpoint store %s: %w", cfg.storeDir, storeErr)
+	}
 	if err != nil {
 		return err
 	}
@@ -293,6 +389,9 @@ func run(cfg runConfig) error {
 	}
 	fmt.Printf("search: %d feasible solutions, %d failed attempts; cost spread min=%.0f mean=%.0f max=%.0f\n",
 		res.Feasible, res.Failed, res.CostMin, res.CostMean, res.CostMax)
+	if res.Resumed {
+		fmt.Printf("search: resumed from attempt %d\n", res.ResumedFrom)
+	}
 	if res.Stopped != "" {
 		fmt.Printf("search: stopped early (%s) with the best solution so far\n", res.Stopped)
 	}

@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"fpgapart/internal/bench"
+	"fpgapart/internal/core"
 	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/jobstore"
 	"fpgapart/internal/kway"
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/search"
@@ -252,6 +254,100 @@ func TestRunMalformedInput(t *testing.T) {
 				t.Fatalf("error %q should contain %q", err, tc.wantInMsg)
 			}
 		})
+	}
+}
+
+// TestRunStoreAndResume covers the durable-CLI contract: a store left
+// mid-search by an interrupted run resumes with -resume, exits 0, and
+// reports the resume point both on stdout and as resumed_from_attempt
+// in the -stats-json stream.
+func TestRunStoreAndResume(t *testing.T) {
+	path := writeCLB(t)
+	dir := filepath.Join(t.TempDir(), "store")
+
+	// Fabricate the store a crash would leave: the submit record plus a
+	// mid-search checkpoint (folded=3 of 6), no terminal record.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := hypergraph.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cps []kway.SearchCheckpoint
+	full, err := core.Partition(g, core.Options{
+		Threshold: 1, Solutions: 6, Seed: 9,
+		Checkpoint: func(cp kway.SearchCheckpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 6 {
+		t.Fatalf("checkpoints = %d, want 6", len(cps))
+	}
+	st, _, err := jobstore.Open(jobstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendSubmit(cliJobID, map[string]any{"circuit": path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendCheckpoint(cliJobID, cps[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := filepath.Join(t.TempDir(), "stats.jsonl")
+	out, err := capture(t, func() error {
+		return run(runConfig{path: path, threshold: 1, solutions: 6, seed: 9,
+			resumeDir: dir, ckptEvery: 1, statsJSON: stats})
+	})
+	if err != nil {
+		t.Fatalf("resume must exit 0, got: %v", err)
+	}
+	if !contains(out, "search: resumed from attempt 3") {
+		t.Fatalf("missing resume line:\n%s", out)
+	}
+	wantCost := fmt.Sprintf("cost=%.0f", full.Summary.DeviceCost())
+	if !contains(out, wantCost) {
+		t.Fatalf("resumed run diverged from the uninterrupted one (%s):\n%s", wantCost, out)
+	}
+	data, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"resumed_from_attempt":3`) {
+		t.Fatalf("stats stream missing resumed_from_attempt:\n%s", data)
+	}
+
+	// The completed run appended its terminal record: a second -resume
+	// replays the finished reduction (no search) and still exits 0.
+	st2, jobs, err := jobstore.Open(jobstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done bool
+	for _, j := range jobs {
+		if j.ID == cliJobID {
+			done = j.Done
+		}
+	}
+	st2.Close()
+	if !done {
+		t.Fatal("store not marked done after the resumed run completed")
+	}
+	out2, err := capture(t, func() error {
+		return run(runConfig{path: path, threshold: 1, solutions: 6, seed: 9, resumeDir: dir, ckptEvery: 1})
+	})
+	if err != nil {
+		t.Fatalf("second resume must exit 0, got: %v", err)
+	}
+	if !contains(out2, wantCost) {
+		t.Fatalf("replayed run lost the result:\n%s", out2)
 	}
 }
 

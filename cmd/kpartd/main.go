@@ -6,7 +6,25 @@
 //
 //	kpartd [-addr :8080] [-workers 2] [-queue 8] [-default-timeout 30s]
 //	       [-max-timeout 5m] [-drain-timeout 30s] [-inject spec]
+//	       [-store dir] [-checkpoint-every 1]
+//	       [-attempt-timeout 2m] [-tries 3] [-hedge-after 0]
 //	       [-pprof] [-log-json]
+//
+// -workers is polymorphic: an integer sizes the local worker pool,
+// while a comma-separated list of http:// base URLs switches the
+// daemon into coordinator mode — each job's search attempts fan out
+// to those worker daemons (deterministic attempt→seed sharding, with
+// per-attempt timeouts, bounded retries with jittered backoff, and
+// optional request hedging via -hedge-after), and fall back to local
+// execution when the whole pool is unreachable. Results are
+// byte-identical to a local run either way.
+//
+// -store makes the job lifecycle durable: submissions, state
+// transitions, search checkpoints and results land in an fsync'd
+// append-only WAL under the given directory. On restart the daemon
+// replays the store, re-enqueues interrupted jobs ahead of new work
+// (status carries "recovered": true) and serves completed results
+// without re-running them.
 //
 // Endpoints:
 //
@@ -42,21 +60,31 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"fpgapart/internal/coord"
 	"fpgapart/internal/faultinject"
+	"fpgapart/internal/jobstore"
 	"fpgapart/internal/server"
+	"fpgapart/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	workers := flag.Int("workers", 2, "concurrent partition jobs")
+	workers := flag.String("workers", "2", "concurrent partition jobs (an integer), or a comma-separated list of worker daemon base URLs to coordinate, e.g. http://a:8080,http://b:8080")
 	queue := flag.Int("queue", 8, "bounded job queue depth (full queue sheds load with 429)")
 	defTimeout := flag.Duration("default-timeout", 30*time.Second, "per-job search budget when the request sets none")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested search budgets")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before cutting them")
 	inject := flag.String("inject", "", "deterministic fault plan, e.g. 'panic@attempt=2' (testing only)")
+	storeDir := flag.String("store", "", "durable job store directory (WAL + snapshot); restart recovers interrupted jobs and replays completed ones")
+	ckptEvery := flag.Int("checkpoint-every", 1, "durable search checkpoint cadence in folded attempts (with -store)")
+	attemptTimeout := flag.Duration("attempt-timeout", 2*time.Minute, "coordinator mode: per-attempt deadline for one worker RPC")
+	tries := flag.Int("tries", 3, "coordinator mode: tries per attempt across the worker ring before local fallback")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator mode: duplicate a straggling attempt on the next worker after this delay (0 disables hedging)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator-only surface)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON objects instead of text")
 	flag.Parse()
@@ -78,15 +106,86 @@ func main() {
 		logger.Warn("fault injection ARMED (testing only)", "rules", fmt.Sprint(plan.Rules()))
 	}
 
-	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		Inject:         plan,
-		Logger:         logger,
-		EnablePprof:    *pprofOn,
-	})
+	// -workers is polymorphic: "4" sizes the local pool, a URL list
+	// selects coordinator mode (the local pool keeps its default size
+	// to drive the coordinator's per-job fan-out).
+	poolSize := 0
+	var workerURLs []string
+	if n, err := strconv.Atoi(strings.TrimSpace(*workers)); err == nil {
+		poolSize = n
+	} else {
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				workerURLs = append(workerURLs, w)
+			}
+		}
+		if len(workerURLs) == 0 {
+			logger.Error("bad -workers", "value", *workers)
+			os.Exit(2)
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	var store *jobstore.Store
+	if *storeDir != "" {
+		var recovered []*jobstore.Job
+		store, recovered, err = jobstore.Open(jobstore.Options{
+			Dir:     *storeDir,
+			Logger:  logger,
+			Metrics: jobstore.NewMetrics(reg),
+		})
+		if err != nil {
+			logger.Error("opening job store", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		incomplete := 0
+		for _, j := range recovered {
+			if !j.Complete() {
+				incomplete++
+			}
+		}
+		logger.Info("job store open", "dir", *storeDir, "jobs", len(recovered), "recovering", incomplete)
+	}
+
+	var pool *coord.Pool
+	if len(workerURLs) > 0 {
+		pool, err = coord.New(coord.Config{
+			Workers:        workerURLs,
+			AttemptTimeout: *attemptTimeout,
+			Tries:          *tries,
+			HedgeAfter:     *hedgeAfter,
+			Logger:         logger,
+			Metrics:        coord.NewMetrics(reg),
+		})
+		if err != nil {
+			logger.Error("bad -workers", "err", err)
+			os.Exit(2)
+		}
+		logger.Info("coordinator mode", "workers", workerURLs,
+			"attempt_timeout", *attemptTimeout, "tries", *tries, "hedge_after", *hedgeAfter)
+	}
+
+	cfg := server.Config{
+		Workers:         poolSize,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		Inject:          plan,
+		Logger:          logger,
+		Metrics:         reg,
+		EnablePprof:     *pprofOn,
+		Store:           store,
+		CheckpointEvery: *ckptEvery,
+	}
+	if pool != nil {
+		cfg.Distribute = pool.Distribute
+	}
+	srv := server.New(cfg)
+	if pool != nil {
+		// Local fallback: when every worker is unreachable, attempts
+		// degrade to in-process execution with identical results.
+		pool.SetLocal(srv.LocalAttempt())
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -115,8 +214,24 @@ func main() {
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("http shutdown", "err", err)
 	}
+	drainFailed := false
 	if err := <-drainErr; err != nil {
 		logger.Error("drain cut short; in-flight jobs were canceled", "err", err)
+		drainFailed = true
+	}
+	if store != nil {
+		// Compact before closing so the next start replays a snapshot
+		// plus a short tail instead of the full history. Jobs the drain
+		// cut are still incomplete in the store and recover on restart.
+		if err := store.Compact(); err != nil {
+			logger.Warn("store compaction", "err", err)
+		}
+		if err := store.Close(); err != nil {
+			logger.Error("closing job store", "err", err)
+			os.Exit(1)
+		}
+	}
+	if drainFailed {
 		os.Exit(1)
 	}
 	logger.Info("drained cleanly")

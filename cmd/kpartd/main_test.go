@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -125,6 +127,256 @@ func TestDaemonLifecycle(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon did not drain within 5s of SIGTERM")
+	}
+}
+
+// buildDaemon compiles the kpartd binary into a temp dir.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "kpartd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves and releases a loopback port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// benchCircuit renders a deterministic 400-cell circuit.
+func benchCircuit(t *testing.T) string {
+	t.Helper()
+	g, err := bench.Generate(bench.Params{Cells: 400, PrimaryIn: 10, PrimaryOut: 6, Seed: 1, Clustering: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := hypergraph.Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestCrashRecovery is the black-box durability smoke: SIGKILL the
+// daemon mid-search and require the restarted process to resume the
+// job from its durable checkpoint and finish it with the result a
+// never-killed run would have produced.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	storeDir := t.TempDir()
+	circuit := benchCircuit(t)
+	// A generous search budget: a wall-clock stop would make the
+	// result timing-dependent and break the byte-identity assertion.
+	daemonArgs := func(addr string) []string {
+		return []string{"-addr", addr, "-workers", "1", "-store", storeDir, "-checkpoint-every", "1",
+			"-default-timeout", "2m", "-drain-timeout", "2s", "-log-json"}
+	}
+
+	// Life 1: submit an async job big enough (60 attempts) that the
+	// kill lands mid-search, then SIGKILL as soon as the first durable
+	// checkpoint hits the WAL.
+	addr1 := freeAddr(t)
+	cmd1 := exec.Command(bin, daemonArgs(addr1)...)
+	cmd1.Stderr = os.Stderr
+	if err := cmd1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd1.Process.Kill()
+	base1 := "http://" + addr1
+	waitUp(t, base1)
+
+	resp, err := http.Post(base1+"/v1/jobs?solutions=60&seed=1", "text/plain", strings.NewReader(circuit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d\n%s", resp.StatusCode, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit response: %v\n%s", err, body)
+	}
+
+	walPath := filepath.Join(storeDir, "wal.log")
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if wal, err := os.ReadFile(walPath); err == nil && bytes.Contains(wal, []byte(`"folded"`)) {
+			break // first checkpoint record landed
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no durable checkpoint appeared in the WAL")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd1.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	// Life 2: same store. The daemon must replay the WAL, re-enqueue
+	// the interrupted job and finish it.
+	addr2 := freeAddr(t)
+	cmd2 := exec.Command(bin, daemonArgs(addr2)...)
+	cmd2.Stderr = os.Stderr
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd2.Process.Kill()
+	base2 := "http://" + addr2
+	waitUp(t, base2)
+
+	var st struct {
+		State     string          `json:"state"`
+		Recovered bool            `json:"recovered"`
+		Result    json.RawMessage `json:"result"`
+	}
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		raw := getBody(t, base2+"/v1/jobs/"+sub.ID)
+		if err := json.Unmarshal([]byte(raw), &st); err != nil {
+			t.Fatalf("status: %v\n%s", err, raw)
+		}
+		if st.State == "done" || st.State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job stuck in state %q", st.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.State != "done" || !st.Recovered {
+		t.Fatalf("recovered job: state=%q recovered=%v", st.State, st.Recovered)
+	}
+
+	var got map[string]any
+	if err := json.Unmarshal(st.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["resumed_from_attempt"]; !ok {
+		t.Fatalf("recovered result missing resumed_from_attempt:\n%s", st.Result)
+	}
+	delete(got, "resumed_from_attempt")
+
+	// Byte-identity modulo the resume marker: a fresh synchronous run of
+	// the same fixed-seed request on the restarted daemon must agree.
+	resp2, err := http.Post(base2+"/v1/partition?solutions=60&seed=1", "text/plain", strings.NewReader(circuit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBody, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("reference run: %d\n%s", resp2.StatusCode, refBody)
+	}
+	var refSt struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(refBody, &refSt); err != nil {
+		t.Fatal(err)
+	}
+	var want map[string]any
+	if err := json.Unmarshal(refSt.Result, &want); err != nil {
+		t.Fatal(err)
+	}
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(want)
+	if string(gj) != string(wj) {
+		t.Fatalf("recovered result diverged from a fresh run:\n got %s\nwant %s", gj, wj)
+	}
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain within 10s of SIGTERM")
+	}
+}
+
+// TestCoordinatorMode is the black-box fan-out smoke: a coordinator
+// daemon pointed at one worker daemon must serve a partition whose
+// attempts all ran remotely.
+func TestCoordinatorMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	circuit := benchCircuit(t)
+
+	workerAddr := freeAddr(t)
+	worker := exec.Command(bin, "-addr", workerAddr, "-workers", "2", "-drain-timeout", "2s", "-log-json")
+	worker.Stderr = os.Stderr
+	if err := worker.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Process.Kill()
+	waitUp(t, "http://"+workerAddr)
+
+	coordAddr := freeAddr(t)
+	coordd := exec.Command(bin, "-addr", coordAddr,
+		"-workers", "http://"+workerAddr, "-tries", "2", "-drain-timeout", "2s", "-log-json")
+	coordd.Stderr = os.Stderr
+	if err := coordd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coordd.Process.Kill()
+	base := "http://" + coordAddr
+	waitUp(t, base)
+
+	resp, err := http.Post(base+"/v1/partition?solutions=3&seed=1", "text/plain", strings.NewReader(circuit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partition via coordinator: %d\n%s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"device_cost"`) {
+		t.Fatalf("missing result fields:\n%s", body)
+	}
+	metrics := getBody(t, base+"/metrics")
+	if !regexp.MustCompile(`fpgapart_coord_attempts_total\{outcome="ok"\} 3`).MatchString(metrics) {
+		t.Fatalf("coordinator did not fan out all 3 attempts:\n%s", metrics)
+	}
+
+	for _, cmd := range []*exec.Cmd{coordd, worker} {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not drain within 10s of SIGTERM")
+		}
 	}
 }
 

@@ -1,0 +1,367 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/core"
+	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/kway"
+	"fpgapart/internal/server"
+	"fpgapart/internal/telemetry"
+)
+
+func circuitText(t *testing.T, cells int, seed int64) string {
+	t.Helper()
+	g, err := bench.Generate(bench.Params{Cells: cells, PrimaryIn: 10, PrimaryOut: 6, Seed: seed, Clustering: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := hypergraph.Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// newEngine builds a real partitioning server (worker-side engine) and
+// arranges its drain.
+func newEngine(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	s := server.New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+func newWorkerTS(t *testing.T, h http.Handler) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics(telemetry.NewRegistry())
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// localResult runs the full request on a fresh local engine — the
+// byte-identity reference every distribution test compares against.
+func localResult(t *testing.T, req *server.JobRequest) *server.JobResult {
+	t.Helper()
+	eng := newEngine(t, server.Config{})
+	res, err := eng.LocalAttempt()(context.Background(), req)
+	if err != nil {
+		t.Fatalf("local reference run: %v", err)
+	}
+	return res
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestDistributeMatchesLocal(t *testing.T) {
+	req := &server.JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 5, Seed: 7}
+	want := localResult(t, req)
+
+	w1 := newWorkerTS(t, newEngine(t, server.Config{}))
+	w2 := newWorkerTS(t, newEngine(t, server.Config{}))
+	pool := newPool(t, Config{Workers: []string{w1.URL, w2.URL}})
+
+	got, err := pool.Distribute(context.Background(), req, core.Options{Solutions: 5, Seed: 7})
+	if err != nil {
+		t.Fatalf("distribute: %v", err)
+	}
+	if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+		t.Fatalf("distributed result diverged from local run:\n got %s\nwant %s", g, w)
+	}
+	if n := pool.met.attempts.With(OutcomeOK).Value(); n != 5 {
+		t.Fatalf("ok attempts = %d, want 5", n)
+	}
+}
+
+func TestWorkerDeathResharded(t *testing.T) {
+	// Worker B serves two requests and then dies mid-job (connections
+	// torn down without a response). Its remaining attempts must
+	// re-shard onto worker A and the result must stay byte-identical
+	// to the local fixed-seed run.
+	req := &server.JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 6, Seed: 3}
+	want := localResult(t, req)
+
+	alive := newWorkerTS(t, newEngine(t, server.Config{}))
+	engB := newEngine(t, server.Config{})
+	var served atomic.Int64
+	dying := newWorkerTS(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) > 2 {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		engB.ServeHTTP(w, r)
+	}))
+	pool := newPool(t, Config{
+		Workers:     []string{alive.URL, dying.URL},
+		Tries:       3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+	})
+
+	got, err := pool.Distribute(context.Background(), req, core.Options{Solutions: 6, Seed: 3})
+	if err != nil {
+		t.Fatalf("distribute with dying worker: %v", err)
+	}
+	if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+		t.Fatalf("result diverged after worker death:\n got %s\nwant %s", g, w)
+	}
+	if pool.met.retries.Value() == 0 {
+		t.Fatal("no retries recorded despite a dying worker")
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	// The worker sheds the first request with 429 + Retry-After; the
+	// retry must wait at least the (BackoffMax-capped) hint and then
+	// succeed on the same worker.
+	eng := newEngine(t, server.Config{})
+	var n atomic.Int64
+	shed := newWorkerTS(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"job queue full, retry later","error_kind":"overload"}`)
+			return
+		}
+		eng.ServeHTTP(w, r)
+	}))
+	pool := newPool(t, Config{
+		Workers:     []string{shed.URL},
+		Tries:       2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	})
+
+	req := &server.JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 1, Seed: 1}
+	start := time.Now()
+	_, err := pool.Distribute(context.Background(), req, core.Options{Solutions: 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("distribute: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("retry after %s, want >= the capped Retry-After of 50ms", elapsed)
+	}
+	if pool.met.retries.Value() != 1 {
+		t.Fatalf("retries = %d, want 1", pool.met.retries.Value())
+	}
+}
+
+func TestInfeasibleIsFinal(t *testing.T) {
+	// 422 is a deterministic outcome: the same seed fails the same way
+	// on every worker, so it folds as a failed attempt with no retry
+	// and no local fallback.
+	var n atomic.Int64
+	infeasible := newWorkerTS(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprint(w, `{"error":"kway: no feasible solution in 1 attempts","error_kind":"infeasible"}`)
+	}))
+	pool := newPool(t, Config{Workers: []string{infeasible.URL}, Tries: 3})
+	pool.SetLocal(func(ctx context.Context, req *server.JobRequest) (*server.JobResult, error) {
+		t.Error("local fallback invoked for a deterministic infeasible outcome")
+		return nil, errors.New("unreachable")
+	})
+
+	req := &server.JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 2, Seed: 1}
+	_, err := pool.Distribute(context.Background(), req, core.Options{Solutions: 2, Seed: 1})
+	var inf *kway.InfeasibleError
+	if !errors.As(err, &inf) {
+		t.Fatalf("error = %v, want *kway.InfeasibleError", err)
+	}
+	if inf.Attempts != 2 {
+		t.Fatalf("infeasible after %d attempts, want 2", inf.Attempts)
+	}
+	if got := n.Load(); got != 2 {
+		t.Fatalf("worker saw %d requests, want exactly 2 (no retries)", got)
+	}
+}
+
+func TestMalformedAbortsJob(t *testing.T) {
+	malformed := newWorkerTS(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"line 2: bad cell","error_kind":"malformed"}`)
+	}))
+	pool := newPool(t, Config{Workers: []string{malformed.URL}, Tries: 3})
+
+	req := &server.JobRequest{Circuit: "nonsense", Solutions: 2, Seed: 1}
+	_, err := pool.Distribute(context.Background(), req, core.Options{Solutions: 2, Seed: 1})
+	var jf *server.JobFailure
+	if !errors.As(err, &jf) || jf.Kind != server.KindMalformed {
+		t.Fatalf("error = %v, want *server.JobFailure with kind %q", err, server.KindMalformed)
+	}
+}
+
+func TestLocalFallbackByteIdentical(t *testing.T) {
+	// Every worker is dead: the pool degrades to running attempts on
+	// the local engine, and because the attempt→seed mapping is shared,
+	// the result still matches the pure-local run exactly.
+	req := &server.JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 3, Seed: 5}
+	want := localResult(t, req)
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from here on
+	pool := newPool(t, Config{
+		Workers:     []string{dead.URL},
+		Tries:       2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	})
+	pool.SetLocal(newEngine(t, server.Config{}).LocalAttempt())
+
+	got, err := pool.Distribute(context.Background(), req, core.Options{Solutions: 3, Seed: 5})
+	if err != nil {
+		t.Fatalf("distribute with dead pool: %v", err)
+	}
+	if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+		t.Fatalf("fallback result diverged:\n got %s\nwant %s", g, w)
+	}
+	if pool.met.fallbacks.Value() != 3 {
+		t.Fatalf("fallbacks = %d, want 3", pool.met.fallbacks.Value())
+	}
+}
+
+func TestExhaustionWithoutFallbackFails(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	pool := newPool(t, Config{
+		Workers:     []string{dead.URL},
+		Tries:       2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	})
+	req := &server.JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 2, Seed: 1}
+	_, err := pool.Distribute(context.Background(), req, core.Options{Solutions: 2, Seed: 1})
+	if err == nil {
+		t.Fatal("want an error when the pool is exhausted and no local fallback is installed")
+	}
+	if pool.met.attempts.With(OutcomeExhausted).Value() == 0 {
+		t.Fatal("no exhausted attempts recorded")
+	}
+}
+
+func TestHedgedRequestWins(t *testing.T) {
+	// Worker A stalls until the client gives up; the hedge fires after
+	// HedgeAfter and worker B's response wins the race.
+	eng := newEngine(t, server.Config{})
+	straggler := newWorkerTS(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server re-arms client-disconnect
+		// detection, then stall until the client gives up (with a timer
+		// fallback so a missed cancellation can't wedge ts.Close).
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-time.After(3 * time.Second):
+		}
+	}))
+	fast := newWorkerTS(t, eng)
+	pool := newPool(t, Config{
+		Workers:        []string{straggler.URL, fast.URL},
+		AttemptTimeout: 2 * time.Second,
+		HedgeAfter:     20 * time.Millisecond,
+	})
+
+	req := &server.JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 1, Seed: 1}
+	got, err := pool.Distribute(context.Background(), req, core.Options{Solutions: 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("distribute: %v", err)
+	}
+	if got.DeviceCost <= 0 {
+		t.Fatalf("bad hedged result: %+v", got)
+	}
+	if pool.met.hedges.Value() == 0 {
+		t.Fatal("no hedges recorded despite a stalled primary")
+	}
+}
+
+func TestResumeByteIdentical(t *testing.T) {
+	// Interrupt-and-resume through the coordinator: a run resumed from
+	// a mid-search checkpoint must report the byte-identical result of
+	// the uninterrupted run (modulo the resumed_from_attempt marker).
+	req := &server.JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 6, Seed: 9}
+	w1 := newWorkerTS(t, newEngine(t, server.Config{}))
+	w2 := newWorkerTS(t, newEngine(t, server.Config{}))
+	pool := newPool(t, Config{Workers: []string{w1.URL, w2.URL}})
+
+	var cps []kway.SearchCheckpoint
+	full, err := pool.Distribute(context.Background(), req, core.Options{
+		Solutions: 6, Seed: 9,
+		Checkpoint: func(cp kway.SearchCheckpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	if len(cps) != 6 {
+		t.Fatalf("checkpoints = %d, want 6", len(cps))
+	}
+
+	cp := cps[2] // folded=3, mid-search
+	resumed, err := pool.Distribute(context.Background(), req, core.Options{
+		Solutions: 6, Seed: 9, Resume: &cp,
+	})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if resumed.ResumedFromAttempt == nil || *resumed.ResumedFromAttempt != 3 {
+		t.Fatalf("resumed_from_attempt = %v, want 3", resumed.ResumedFromAttempt)
+	}
+	resumed.ResumedFromAttempt = nil
+	if g, w := mustJSON(t, resumed), mustJSON(t, full); g != w {
+		t.Fatalf("resumed result diverged:\n got %s\nwant %s", g, w)
+	}
+}
+
+func TestNewValidatesWorkers(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("want error for an empty worker list")
+	}
+	if _, err := New(Config{Workers: []string{"not-a-url"}}); err == nil {
+		t.Fatal("want error for a non-http worker URL")
+	}
+	p, err := New(Config{Workers: []string{" http://a:1/ "}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.Workers[0] != "http://a:1" {
+		t.Fatalf("worker not normalized: %q", p.cfg.Workers[0])
+	}
+}

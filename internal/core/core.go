@@ -103,7 +103,21 @@ type Options struct {
 	// the winning score. Nil keeps the paper's flat terminal-cut
 	// objective, byte-identical to board-free releases.
 	Board *topology.Board
-	Seed  int64
+	// Checkpoint, when non-nil, receives a serializable snapshot of the
+	// search reduction every CheckpointEvery folded attempts (see
+	// kway.Options.Checkpoint). Snapshots arrive in strict attempt
+	// order from a single goroutine; emission never perturbs search
+	// decisions.
+	Checkpoint func(kway.SearchCheckpoint)
+	// CheckpointEvery is the checkpoint cadence in folded attempts
+	// (default 1). Ignored when Checkpoint is nil.
+	CheckpointEvery int
+	// Resume, when non-nil, restarts the search from a persisted
+	// checkpoint instead of attempt 0; the resumed run folds to the
+	// byte-identical result of the uninterrupted run (see
+	// kway.Options.Resume).
+	Resume *kway.SearchCheckpoint
+	Seed   int64
 }
 
 func (o Options) fill() Options {
@@ -138,18 +152,21 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		defer cancel()
 	}
 	kopts := kway.Options{
-		Library:       opts.Library,
-		Threshold:     opts.Threshold,
-		Solutions:     opts.Solutions,
-		Multilevel:    opts.Multilevel,
-		Workers:       opts.Workers,
-		RefineWorkers: opts.RefineWorkers,
-		Verify:        opts.Verify,
-		MaxStale:      opts.MaxStale,
-		Trace:         opts.Trace,
-		Inject:        opts.Inject,
-		Now:           opts.Now,
-		Seed:          opts.Seed,
+		Library:         opts.Library,
+		Threshold:       opts.Threshold,
+		Solutions:       opts.Solutions,
+		Multilevel:      opts.Multilevel,
+		Workers:         opts.Workers,
+		RefineWorkers:   opts.RefineWorkers,
+		Verify:          opts.Verify,
+		MaxStale:        opts.MaxStale,
+		Trace:           opts.Trace,
+		Inject:          opts.Inject,
+		Now:             opts.Now,
+		Checkpoint:      opts.Checkpoint,
+		CheckpointEvery: opts.CheckpointEvery,
+		Resume:          opts.Resume,
+		Seed:            opts.Seed,
 	}
 	if opts.Board != nil {
 		kopts.Objective = objective.NewTopology(opts.Board)

@@ -41,6 +41,13 @@ const (
 	SiteCarve
 	// SitePass fires before one FM pass inside the fm engine.
 	SitePass
+	// SiteWAL fires inside the job store's WAL append path, after the
+	// record header has been written but before the payload completes —
+	// a KindPanic rule there kills the process mid-record, leaving a
+	// genuine torn tail for the replay path to truncate. The ordinal is
+	// the store's append sequence number; the attempt selector is
+	// unused (always -1).
+	SiteWAL
 )
 
 // String returns the spec-grammar name of the site.
@@ -52,6 +59,8 @@ func (s Site) String() string {
 		return "carve"
 	case SitePass:
 		return "pass"
+	case SiteWAL:
+		return "wal"
 	default:
 		return "unknown"
 	}

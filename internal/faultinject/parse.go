@@ -13,7 +13,7 @@ import (
 //	spec  := rule (";" rule)*
 //	rule  := kind "@" site ["=" index] ("," opt)*
 //	kind  := "panic" | "delay" | "cancel" | "alloccap"
-//	site  := "attempt" | "carve" | "pass"
+//	site  := "attempt" | "carve" | "pass" | "wal"
 //	opt   := "attempt=" int | "delay=" duration | "count=" int
 //
 // The index after the site selects the site ordinal (carve try, FM
@@ -76,6 +76,8 @@ func parseRule(rs string) (Rule, error) {
 		r.Site = SiteCarve
 	case "pass":
 		r.Site = SitePass
+	case "wal":
+		r.Site = SiteWAL
 	default:
 		return r, fmt.Errorf("unknown site %q", siteName)
 	}

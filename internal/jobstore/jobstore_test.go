@@ -1,0 +1,518 @@
+package jobstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"fpgapart/internal/faultinject"
+	"fpgapart/internal/telemetry"
+)
+
+type testReq struct {
+	Device string `json:"device"`
+	Seed   int64  `json:"seed"`
+}
+
+type testCP struct {
+	Folded int `json:"folded"`
+	Best   int `json:"best_attempt"`
+}
+
+// openStore opens a store on dir and fails the test on real I/O errors.
+func openStore(t *testing.T, dir string, opts Options) (*Store, []*Job) {
+	t.Helper()
+	opts.Dir = dir
+	s, jobs, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, jobs
+}
+
+// writeLifecycle appends a full job lifecycle: submit, running, two
+// checkpoints, done.
+func writeLifecycle(t *testing.T, s *Store, id string) {
+	t.Helper()
+	if err := s.AppendSubmit(id, testReq{Device: "XC3042", Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendState(id, StateRunning); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendCheckpoint(id, testCP{Folded: 2, Best: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendCheckpoint(id, testCP{Folded: 4, Best: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDone(id, map[string]int{"cost": 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, jobs := openStore(t, dir, Options{})
+	if len(jobs) != 0 {
+		t.Fatalf("fresh store replayed %d jobs", len(jobs))
+	}
+	writeLifecycle(t, s, "job-a")
+	// job-b is interrupted after its second checkpoint: no terminal
+	// record.
+	if err := s.AppendSubmit("job-b", testReq{Device: "XC3020", Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendState("job-b", StateRunning); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendCheckpoint("job-b", testCP{Folded: 1, Best: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendCheckpoint("job-b", testCP{Folded: 3, Best: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	_, jobs = openStore(t, dir, Options{})
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	a, b := jobs[0], jobs[1]
+	if a.ID != "job-a" || b.ID != "job-b" {
+		t.Fatalf("job order %q, %q — want submission order", a.ID, b.ID)
+	}
+	if !a.Complete() || !a.Done || a.Failed {
+		t.Fatalf("job-a outcome = %+v, want done", a)
+	}
+	var res map[string]int
+	if err := json.Unmarshal(a.Result, &res); err != nil || res["cost"] != 120 {
+		t.Fatalf("job-a result %s (%v)", a.Result, err)
+	}
+	if b.Complete() {
+		t.Fatal("interrupted job-b replayed as complete")
+	}
+	var cp testCP
+	if err := json.Unmarshal(b.Checkpoint, &cp); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Folded != 3 || cp.Best != 2 {
+		t.Fatalf("job-b checkpoint = %+v, want the newest (folded 3)", cp)
+	}
+	var req testReq
+	if err := json.Unmarshal(b.Request, &req); err != nil || req.Device != "XC3020" || req.Seed != 7 {
+		t.Fatalf("job-b request %s (%v)", b.Request, err)
+	}
+	if b.State != StateRunning {
+		t.Fatalf("job-b state %q, want %q", b.State, StateRunning)
+	}
+}
+
+func TestFailRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, Options{})
+	if err := s.AppendSubmit("j", testReq{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendFail("j", "infeasible", "no feasible carve"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	_, jobs := openStore(t, dir, Options{})
+	if len(jobs) != 1 || !jobs[0].Failed || jobs[0].ErrKind != "infeasible" || jobs[0].Error != "no feasible carve" {
+		t.Fatalf("replayed failure = %+v", jobs[0])
+	}
+}
+
+// TestTornTailTruncated is the core recovery contract: any prefix of a
+// valid WAL replays every record that fully made it to disk and drops
+// the torn one, without crashing — and the store keeps appending
+// afterwards from the truncated offset.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, Options{})
+	writeLifecycle(t, s, "job-a")
+	s.Close()
+	walPath := filepath.Join(dir, "wal.log")
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries, for deciding what a given cut preserves.
+	var bounds []int
+	for off := 0; off < len(full); {
+		n := int(binary.LittleEndian.Uint32(full[off:]))
+		off += 8 + n
+		bounds = append(bounds, off)
+	}
+	if len(bounds) != 5 {
+		t.Fatalf("lifecycle wrote %d records, want 5", len(bounds))
+	}
+	recordsBefore := func(cut int) int {
+		k := 0
+		for _, b := range bounds {
+			if b <= cut {
+				k++
+			}
+		}
+		return k
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		if err := os.WriteFile(walPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reg := telemetry.NewRegistry()
+		met := NewMetrics(reg)
+		s2, jobs, err := Open(Options{Dir: dir, Metrics: met})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := recordsBefore(cut)
+		if met.replayed.Value() != int64(want) {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, met.replayed.Value(), want)
+		}
+		// A cut on a record boundary (including 0 and the full file)
+		// leaves a clean prefix; any other cut leaves a torn tail.
+		isBoundary := cut == 0
+		for _, b := range bounds {
+			if b == cut {
+				isBoundary = true
+			}
+		}
+		wantTrunc := int64(1)
+		if isBoundary {
+			wantTrunc = 0
+		}
+		if met.truncations.Value() != wantTrunc {
+			t.Fatalf("cut %d: truncations = %d, want %d", cut, met.truncations.Value(), wantTrunc)
+		}
+		// The replayed job view matches how many records survived.
+		switch {
+		case want == 0:
+			if len(jobs) != 0 {
+				t.Fatalf("cut %d: %d jobs from empty prefix", cut, len(jobs))
+			}
+		case want < 5:
+			if len(jobs) != 1 || jobs[0].Complete() {
+				t.Fatalf("cut %d: want 1 incomplete job, got %+v", cut, jobs)
+			}
+		default:
+			if len(jobs) != 1 || !jobs[0].Done {
+				t.Fatalf("cut %d: want 1 done job, got %+v", cut, jobs)
+			}
+		}
+		// The store stays writable after a truncated replay.
+		if err := s2.AppendState("job-a", StateRecovered); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		s2.Close()
+	}
+}
+
+// TestCorruptTailTruncated flips payload bytes (CRC mismatch) and
+// plants implausible lengths; replay must warn-and-truncate, never
+// crash.
+func TestCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, Options{})
+	writeLifecycle(t, s, "job-a")
+	s.Close()
+	walPath := filepath.Join(dir, "wal.log")
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundaries again.
+	var bounds []int
+	off := 0
+	for off < len(full) {
+		n := int(binary.LittleEndian.Uint32(full[off:]))
+		off += 8 + n
+		bounds = append(bounds, off)
+	}
+	cases := []struct {
+		name string
+		mut  func(b []byte) []byte
+		want int // records expected to survive
+	}{
+		{"flip-last-payload-byte", func(b []byte) []byte {
+			b[len(b)-1] ^= 0xff
+			return b
+		}, len(bounds) - 1},
+		{"zero-length-record", func(b []byte) []byte {
+			return append(b, make([]byte, 12)...)
+		}, len(bounds)},
+		{"huge-length-record", func(b []byte) []byte {
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+			return append(b, hdr[:]...)
+		}, len(bounds)},
+		{"corrupt-mid-record", func(b []byte) []byte {
+			// Flip a byte inside record 2; records 0-1 survive, the rest
+			// of the log is dropped from the corruption point.
+			b[bounds[1]+10] ^= 0xff
+			return b
+		}, 2},
+		{"bad-json-payload", func(b []byte) []byte {
+			payload := []byte{recState, '{', 'x'}
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+			return append(append(b, hdr[:]...), payload...)
+		}, len(bounds)},
+		{"unknown-record-type", func(b []byte) []byte {
+			payload := append([]byte{99}, []byte(`{"job":"j"}`)...)
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+			return append(append(b, hdr[:]...), payload...)
+		}, len(bounds)},
+		{"missing-job-id", func(b []byte) []byte {
+			payload := append([]byte{recState}, []byte(`{"state":"running"}`)...)
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+			return append(append(b, hdr[:]...), payload...)
+		}, len(bounds)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(walPath, tc.mut(append([]byte(nil), full...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			reg := telemetry.NewRegistry()
+			met := NewMetrics(reg)
+			s2, _, err := Open(Options{Dir: dir, Metrics: met})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if met.replayed.Value() != int64(tc.want) {
+				t.Fatalf("replayed %d records, want %d", met.replayed.Value(), tc.want)
+			}
+			if met.truncations.Value() != 1 {
+				t.Fatalf("truncations = %d, want 1", met.truncations.Value())
+			}
+			// The truncated file is now a clean prefix: a second open
+			// must replay without another truncation.
+			s2.Close()
+			reg2 := telemetry.NewRegistry()
+			met2 := NewMetrics(reg2)
+			s3, _, err := Open(Options{Dir: dir, Metrics: met2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s3.Close()
+			if met2.truncations.Value() != 0 {
+				t.Fatal("second replay truncated again — truncation did not persist")
+			}
+		})
+	}
+}
+
+// TestInjectedCrashMidAppend arms the SiteWAL kill-point: the injected
+// panic fires after the header and half the payload reached the fd, so
+// the file holds a genuine torn record. Recovery replays everything
+// before it and truncates the tear.
+func TestInjectedCrashMidAppend(t *testing.T) {
+	dir := t.TempDir()
+	// Kill append #3 (the first checkpoint of the lifecycle).
+	plan := faultinject.NewPlan(faultinject.Rule{
+		Site: faultinject.SiteWAL, Kind: faultinject.KindPanic,
+		Attempt: faultinject.Any, Index: 2,
+	})
+	s, _ := openStore(t, dir, Options{Inject: plan})
+	if err := s.AppendSubmit("j", testReq{Device: "XC3042"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendState("j", StateRunning); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("armed SiteWAL rule did not fire")
+			}
+			if _, ok := p.(*faultinject.Panic); !ok {
+				t.Fatalf("recovered %T, want *faultinject.Panic", p)
+			}
+		}()
+		s.AppendCheckpoint("j", testCP{Folded: 1})
+	}()
+	if got := len(plan.Firings()); got != 1 {
+		t.Fatalf("firing log has %d entries, want 1", got)
+	}
+	// The file must contain a genuine torn record, not a clean prefix.
+	data, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	s2, jobs, err := Open(Options{Dir: dir, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if met.truncations.Value() != 1 {
+		t.Fatalf("truncations = %d, want 1 (file was %d bytes)", met.truncations.Value(), len(data))
+	}
+	if met.replayed.Value() != 2 {
+		t.Fatalf("replayed %d records, want 2", met.replayed.Value())
+	}
+	if len(jobs) != 1 || jobs[0].State != StateRunning || jobs[0].Checkpoint != nil {
+		t.Fatalf("recovered job = %+v, want running with no checkpoint", jobs[0])
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	s, _ := openStore(t, dir, Options{Metrics: met})
+	writeLifecycle(t, s, "job-a")
+	if err := s.AppendSubmit("job-b", testReq{Device: "XC3020"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if met.compactions.Value() != 1 {
+		t.Fatal("compaction counter did not move")
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
+		t.Fatalf("WAL after compaction: %v, size %d — want empty", err, fi.Size())
+	}
+	// Post-compaction appends land in the fresh WAL.
+	if err := s.AppendState("job-b", StateRunning); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	_, jobs := openStore(t, dir, Options{})
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs after compaction, want 2", len(jobs))
+	}
+	if jobs[0].ID != "job-a" || !jobs[0].Done {
+		t.Fatalf("snapshot job = %+v", jobs[0])
+	}
+	if jobs[1].ID != "job-b" || jobs[1].State != StateRunning {
+		t.Fatalf("post-snapshot WAL record not applied: %+v", jobs[1])
+	}
+}
+
+func TestCorruptSnapshotIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, Options{})
+	writeLifecycle(t, s, "job-a")
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubmit("job-b", testReq{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Open must warn and continue with the WAL only — job-a (snapshot
+	// only) is lost, job-b (WAL) survives.
+	_, jobs := openStore(t, dir, Options{})
+	if len(jobs) != 1 || jobs[0].ID != "job-b" {
+		t.Fatalf("jobs after corrupt snapshot = %+v, want only job-b", jobs)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, Options{})
+	const workers, each = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("job-%d", w)
+			if err := s.AppendSubmit(id, testReq{Seed: int64(w)}); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < each; i++ {
+				if err := s.AppendCheckpoint(id, testCP{Folded: i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := s.AppendDone(id, map[string]int{"w": w}); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Close()
+	_, jobs := openStore(t, dir, Options{})
+	if len(jobs) != workers {
+		t.Fatalf("replayed %d jobs, want %d", len(jobs), workers)
+	}
+	for _, j := range jobs {
+		if !j.Done {
+			t.Fatalf("job %s not done after concurrent lifecycle", j.ID)
+		}
+		var cp testCP
+		if err := json.Unmarshal(j.Checkpoint, &cp); err != nil || cp.Folded != each-1 {
+			t.Fatalf("job %s newest checkpoint = %s (%v)", j.ID, j.Checkpoint, err)
+		}
+	}
+}
+
+func TestClosedStoreRejectsAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, Options{})
+	s.Close()
+	if err := s.AppendState("j", StateRunning); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("append on closed store: %v", err)
+	}
+	if err := s.Compact(); err == nil {
+		t.Fatal("compact on closed store succeeded")
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, _, err := Open(Options{}); err == nil {
+		t.Fatal("Open without Dir succeeded")
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	s, _ := openStore(t, dir, Options{Metrics: met})
+	writeLifecycle(t, s, "j")
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, name := range []string{
+		MetricFsyncSeconds, MetricAppends, MetricReplayed,
+		MetricRecovered, MetricTruncations, MetricCompactions,
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
+	if met.fsync.Count() != 5 {
+		t.Fatalf("fsync observations = %d, want 5", met.fsync.Count())
+	}
+	if met.appends.With("checkpoint").Value() != 2 {
+		t.Fatalf("checkpoint appends = %d, want 2", met.appends.With("checkpoint").Value())
+	}
+}

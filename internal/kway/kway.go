@@ -125,7 +125,64 @@ type Options struct {
 	// rejects solutions that exceed the board's slot count or any
 	// link's routing capacity (verify.Routing).
 	Objective objective.Model
-	Seed      int64
+	// Checkpoint, when non-nil, receives a SearchCheckpoint snapshot of
+	// the index-ordered reduction every CheckpointEvery folded attempts
+	// (and at the final fold). Snapshots arrive from the single-threaded
+	// reducer in strict attempt order, so callers may persist them
+	// without synchronization; emission never perturbs search decisions,
+	// so fixed-seed results are byte-identical with or without it. A nil
+	// hook costs one predicted branch per fold.
+	Checkpoint func(SearchCheckpoint)
+	// CheckpointEvery is the checkpoint cadence in folded attempts
+	// (default 1 = every fold). Ignored when Checkpoint is nil.
+	CheckpointEvery int
+	// Resume, when non-nil, restarts the search from a persisted
+	// checkpoint instead of attempt 0: the incumbent best attempt is
+	// replayed deterministically (trace and fault injection suppressed
+	// for the replay) and the remaining attempts fold byte-identically
+	// to the uninterrupted run. The checkpoint's Seed and Solutions
+	// must match the options.
+	Resume *SearchCheckpoint
+	Seed   int64
+}
+
+// SearchCheckpoint is a serializable snapshot of the k-way search's
+// index-ordered reduction: the fold frontier, the incumbent best
+// attempt index, and the fold-side aggregates. It deliberately stores
+// no solution content — attempt i derives all randomness from
+// Seed + i*SeedStride, so the incumbent is reconstructed by replaying
+// its attempt, and a search resumed from a checkpoint folds to the
+// byte-identical result of the uninterrupted run.
+type SearchCheckpoint struct {
+	// Seed and Solutions identify the search the checkpoint belongs
+	// to; Resume rejects a mismatch.
+	Seed      int64 `json:"seed"`
+	Solutions int   `json:"solutions"`
+	// Folded is the number of attempts the reduction covers;
+	// dispatch resumes at this index.
+	Folded int `json:"folded"`
+	// BestAttempt is the attempt index of the incumbent best solution
+	// (-1 while no attempt has been accepted).
+	BestAttempt int `json:"best_attempt"`
+	// Stale is the MaxStale counter (consecutive non-improving
+	// accepted solutions).
+	Stale int `json:"stale"`
+	// Accepted/Failed/Panicked/Improved mirror search.Stats.
+	Accepted int `json:"accepted"`
+	Failed   int `json:"failed"`
+	Panicked int `json:"panicked"`
+	Improved int `json:"improved"`
+	// CostMin/CostMax/CostSum carry the device-cost spread across the
+	// accepted solutions (float64 JSON round-trips exactly, so the
+	// resumed CostMean is byte-identical).
+	CostMin float64 `json:"cost_min"`
+	CostMax float64 `json:"cost_max"`
+	CostSum float64 `json:"cost_sum"`
+	// PanickedSeeds and FirstError preserve the diagnostic state of
+	// the folded prefix (FirstError as a message string; a resumed
+	// InfeasibleError wraps a reconstructed error with the same text).
+	PanickedSeeds []int64 `json:"panicked_seeds,omitempty"`
+	FirstError    string  `json:"first_error,omitempty"`
 }
 
 // VerificationError reports an in-loop invariant violation detected by
@@ -164,9 +221,20 @@ func (e *InfeasibleError) Error() string {
 
 func (e *InfeasibleError) Unwrap() error { return e.First }
 
-// seedStride separates consecutive attempts' seed streams; a large
-// prime keeps the per-attempt generators uncorrelated.
-const seedStride = 104729
+// SeedStride separates consecutive attempts' seed streams; a large
+// prime keeps the per-attempt generators uncorrelated. It is exported
+// (and fixed forever) because the attempt→seed mapping
+// Seed + i*SeedStride is the distribution contract: a coordinator that
+// runs attempt i on a remote worker as a Solutions=1 search with seed
+// Seed + i*SeedStride obtains the byte-identical solution the local
+// search would fold at index i.
+const SeedStride = 104729
+
+// DefaultSolutions is the attempt budget when Options.Solutions is 0.
+// Exported so a coordinator distributing attempts remotely runs the
+// same defaulted search shape (and checkpoint identity) the local
+// engine would.
+const DefaultSolutions = 50
 
 func (o Options) withDefaults() (Options, error) {
 	if o.Solutions < 0 {
@@ -187,8 +255,11 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Workers < 0 {
 		return o, fmt.Errorf("kway: Workers must be non-negative, got %d", o.Workers)
 	}
+	if o.CheckpointEvery < 0 {
+		return o, fmt.Errorf("kway: CheckpointEvery must be non-negative, got %d", o.CheckpointEvery)
+	}
 	if o.Solutions == 0 {
-		o.Solutions = 50
+		o.Solutions = DefaultSolutions
 	}
 	if o.Retries == 0 {
 		o.Retries = 20
@@ -233,6 +304,11 @@ type Result struct {
 	Degraded      bool
 	Panicked      int
 	PanickedSeeds []int64
+	// Resumed reports that the search restarted from a checkpoint
+	// (Options.Resume); ResumedFrom is the attempt index it continued
+	// from (meaningful only when Resumed).
+	Resumed     bool
+	ResumedFrom int
 }
 
 // Result.Stopped values.
@@ -294,71 +370,77 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 	if now == nil {
 		now = time.Now
 	}
-	emitPhase := func(attempt int, phase string, start time.Time) {
-		opts.Trace.Event(trace.Event{Kind: trace.KindPhase, Attempt: attempt, Phase: phase, Dur: now().Sub(start)})
+	emitPhase := func(sink trace.Sink, attempt int, phase string, start time.Time) {
+		sink.Event(trace.Event{Kind: trace.KindPhase, Attempt: attempt, Phase: phase, Dur: now().Sub(start)})
+	}
+	// newAttempt builds one worker's attempt function against an options
+	// value. The search workers run it with opts verbatim; the resume
+	// path replays the checkpoint's incumbent attempt with trace and
+	// fault injection suppressed (the replay reconstructs known state —
+	// it is not new search work).
+	newAttempt := func(o Options) search.AttemptFunc[Result] {
+		// Per-worker scratch: the FM runner's gain buckets, the
+		// cluster-growing buffers and the replication state are all
+		// reused across carve attempts and solution attempts, so a
+		// warm worker allocates only for the materialized subcircuits.
+		var sc carveScratch
+		return func(ctx context.Context, attempt int, seed int64) (Result, error) {
+			// A panic can leave the reused scratch (gain buckets,
+			// replication state) mid-update; drop it so the worker's
+			// next attempt rebuilds from clean buffers, then let the
+			// search layer's containment turn the panic into a
+			// degraded attempt.
+			defer func() {
+				if v := recover(); v != nil {
+					sc = carveScratch{}
+					panic(v)
+				}
+			}()
+			parts, tr, err := partitionOnce(ctx, g, o, attempt, seed, &sc)
+			if err != nil {
+				return Result{}, err
+			}
+			var foldStart time.Time
+			if o.Trace != nil {
+				foldStart = now()
+			}
+			remapDevices(parts, o.Library)
+			res := assemble(g, parts)
+			if tr != nil {
+				res.Summary.TopoCost = tr.cost()
+				res.Summary.HasTopo = true
+				// Routing post-check: a solution whose routed net load
+				// overflows a board link is infeasible on this board —
+				// the attempt folds as failed and the search retries.
+				graphs := make([]*hypergraph.Graph, len(parts))
+				for i := range parts {
+					graphs[i] = parts[i].Graph
+				}
+				if rerr := verify.Routing(tr.board, graphs); rerr != nil {
+					return Result{}, fmt.Errorf("kway: board %s: %w", tr.board.Name, rerr)
+				}
+			}
+			if o.Trace != nil {
+				emitPhase(o.Trace, attempt, trace.PhaseFold, foldStart)
+			}
+			if o.Verify {
+				var verifyStart time.Time
+				if o.Trace != nil {
+					verifyStart = now()
+				}
+				if verr := res.Verify(g); verr != nil {
+					return Result{}, &VerificationError{Stage: "solution", Err: verr}
+				}
+				if o.Trace != nil {
+					emitPhase(o.Trace, attempt, trace.PhaseVerify, verifyStart)
+				}
+			}
+			return res, nil
+		}
 	}
 	drv := search.Driver[Result]{
-		NewAttempt: func() search.AttemptFunc[Result] {
-			// Per-worker scratch: the FM runner's gain buckets, the
-			// cluster-growing buffers and the replication state are all
-			// reused across carve attempts and solution attempts, so a
-			// warm worker allocates only for the materialized subcircuits.
-			var sc carveScratch
-			return func(ctx context.Context, attempt int, seed int64) (Result, error) {
-				// A panic can leave the reused scratch (gain buckets,
-				// replication state) mid-update; drop it so the worker's
-				// next attempt rebuilds from clean buffers, then let the
-				// search layer's containment turn the panic into a
-				// degraded attempt.
-				defer func() {
-					if v := recover(); v != nil {
-						sc = carveScratch{}
-						panic(v)
-					}
-				}()
-				parts, tr, err := partitionOnce(ctx, g, opts, attempt, seed, &sc)
-				if err != nil {
-					return Result{}, err
-				}
-				var foldStart time.Time
-				if opts.Trace != nil {
-					foldStart = now()
-				}
-				remapDevices(parts, opts.Library)
-				res := assemble(g, parts)
-				if tr != nil {
-					res.Summary.TopoCost = tr.cost()
-					res.Summary.HasTopo = true
-					// Routing post-check: a solution whose routed net load
-					// overflows a board link is infeasible on this board —
-					// the attempt folds as failed and the search retries.
-					graphs := make([]*hypergraph.Graph, len(parts))
-					for i := range parts {
-						graphs[i] = parts[i].Graph
-					}
-					if rerr := verify.Routing(tr.board, graphs); rerr != nil {
-						return Result{}, fmt.Errorf("kway: board %s: %w", tr.board.Name, rerr)
-					}
-				}
-				if opts.Trace != nil {
-					emitPhase(attempt, trace.PhaseFold, foldStart)
-				}
-				if opts.Verify {
-					var verifyStart time.Time
-					if opts.Trace != nil {
-						verifyStart = now()
-					}
-					if verr := res.Verify(g); verr != nil {
-						return Result{}, &VerificationError{Stage: "solution", Err: verr}
-					}
-					if opts.Trace != nil {
-						emitPhase(attempt, trace.PhaseVerify, verifyStart)
-					}
-				}
-				return res, nil
-			}
-		},
-		Better: func(a, b Result) bool { return a.Summary.Better(b.Summary) },
+		NewAttempt: func() search.AttemptFunc[Result] { return newAttempt(opts) },
+		Better:     func(a, b Result) bool { return a.Summary.Better(b.Summary) },
 		// Verification failures are partitioner bugs, never ordinary
 		// infeasibility: abort the search instead of counting a failed
 		// attempt.
@@ -400,6 +482,83 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 			}
 		},
 	}
+	if cp := opts.Resume; cp != nil {
+		if cp.Seed != opts.Seed || cp.Solutions != opts.Solutions {
+			return Result{}, fmt.Errorf("kway: checkpoint is for seed %d / %d solutions, options say seed %d / %d solutions", cp.Seed, cp.Solutions, opts.Seed, opts.Solutions)
+		}
+		if cp.Folded < 0 || cp.Folded > opts.Solutions || cp.BestAttempt >= cp.Folded {
+			return Result{}, fmt.Errorf("kway: corrupt checkpoint: folded %d, best attempt %d, %d solutions", cp.Folded, cp.BestAttempt, opts.Solutions)
+		}
+		feasible, failed = cp.Accepted, cp.Failed
+		costMin, costMax, costSum = cp.CostMin, cp.CostMax, cp.CostSum
+		if cp.FirstError != "" {
+			firstErr = errors.New(cp.FirstError)
+		}
+		panickedSeeds = append(panickedSeeds, cp.PanickedSeeds...)
+		rs := &search.ResumeState[Result]{
+			Folded:      cp.Folded,
+			BestAttempt: cp.BestAttempt,
+			Stale:       cp.Stale,
+			Stats: search.Stats{
+				Folded:   cp.Folded,
+				Accepted: cp.Accepted,
+				Failed:   cp.Failed,
+				Panicked: cp.Panicked,
+				Improved: cp.Improved,
+			},
+		}
+		if cp.BestAttempt >= 0 {
+			// Reconstruct the incumbent by replaying its attempt:
+			// attempt i derives all randomness from Seed + i*SeedStride,
+			// so the replay is byte-identical to the solution the
+			// interrupted run held.
+			replayOpts := opts
+			replayOpts.Trace = nil
+			replayOpts.Inject = nil
+			sol, rerr := newAttempt(replayOpts)(ctx, cp.BestAttempt, opts.Seed+int64(cp.BestAttempt)*SeedStride)
+			if rerr != nil {
+				return Result{}, fmt.Errorf("kway: checkpoint replay of attempt %d failed: %w", cp.BestAttempt, rerr)
+			}
+			rs.Best, rs.Found = sol, true
+		}
+		drv.Resume = rs
+		if opts.Trace != nil {
+			opts.Trace.Event(trace.Event{Kind: trace.KindResume, Attempt: cp.Folded, Folded: cp.Folded, BestAttempt: cp.BestAttempt})
+		}
+	}
+	// The checkpoint wrapper runs inside the single-threaded reducer,
+	// immediately after Observe for the same attempt, so the fold-side
+	// aggregates it captures (costMin/costMax/costSum, firstErr,
+	// panickedSeeds) are exactly current at each snapshot.
+	var sCheckpoint func(search.Progress)
+	if opts.Checkpoint != nil {
+		every := opts.CheckpointEvery
+		if every == 0 {
+			every = 1
+		}
+		sCheckpoint = func(p search.Progress) {
+			if p.Folded%every != 0 && p.Folded != opts.Solutions {
+				return
+			}
+			cp := SearchCheckpoint{
+				Seed: opts.Seed, Solutions: opts.Solutions,
+				Folded: p.Folded, BestAttempt: p.BestAttempt, Stale: p.Stale,
+				Accepted: p.Stats.Accepted, Failed: p.Stats.Failed,
+				Panicked: p.Stats.Panicked, Improved: p.Stats.Improved,
+				CostMin: costMin, CostMax: costMax, CostSum: costSum,
+			}
+			if firstErr != nil {
+				cp.FirstError = firstErr.Error()
+			}
+			if len(panickedSeeds) > 0 {
+				cp.PanickedSeeds = append([]int64(nil), panickedSeeds...)
+			}
+			if opts.Trace != nil {
+				opts.Trace.Event(trace.Event{Kind: trace.KindCheckpoint, Attempt: p.Folded - 1, Folded: p.Folded, BestAttempt: p.BestAttempt})
+			}
+			opts.Checkpoint(cp)
+		}
+	}
 	var searchStart time.Time
 	if opts.Trace != nil {
 		searchStart = now()
@@ -408,12 +567,13 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		Attempts:   opts.Solutions,
 		Workers:    opts.Workers,
 		Seed:       opts.Seed,
-		SeedStride: seedStride,
+		SeedStride: SeedStride,
 		MaxStale:   opts.MaxStale,
 		Inject:     opts.Inject,
+		Checkpoint: sCheckpoint,
 	}, drv)
 	if opts.Trace != nil {
-		emitPhase(-1, trace.PhaseSearch, searchStart)
+		emitPhase(opts.Trace, -1, trace.PhaseSearch, searchStart)
 	}
 	var budget *search.ErrBudget
 	if serr != nil {
@@ -445,6 +605,10 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 	best.Panicked = out.Stats.Panicked
 	best.PanickedSeeds = panickedSeeds
 	best.Degraded = out.Stats.Panicked > 0
+	if opts.Resume != nil {
+		best.Resumed = true
+		best.ResumedFrom = opts.Resume.Folded
+	}
 	switch {
 	case budget != nil:
 		best.Stopped = StoppedBudget

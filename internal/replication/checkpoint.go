@@ -1,0 +1,127 @@
+package replication
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// checkpointMagic heads every serialized checkpoint: three format
+// bytes plus one version byte, so a torn or foreign payload fails fast
+// instead of decoding into garbage state.
+var checkpointMagic = [4]byte{'f', 'c', 'p', 1}
+
+// MarshalBinary serializes the snapshot (encoding.BinaryMarshaler):
+// the scalar state (cut, topo, per-block area and terminal counts)
+// followed by the flat per-cell arrays (ownership masks, home blocks,
+// replica flags, maintained single-move gains) and the per-net pin
+// counters. The trail position is deliberately NOT serialized — move
+// tokens are process-local, so a decoded checkpoint restores with
+// trailLen 0, which RestoreCheckpoint accepts on any state (the trail
+// is truncated wholesale, exactly what recovery wants).
+func (cp *Checkpoint) MarshalBinary() ([]byte, error) {
+	if !cp.valid {
+		return nil, fmt.Errorf("replication: marshal of unsaved checkpoint")
+	}
+	n, m := len(cp.own), len(cp.cnt)
+	buf := make([]byte, 0, 4+6*8+2*4+n*14+m*8)
+	buf = append(buf, checkpointMagic[:]...)
+	for _, v := range [6]int{cp.cut, cp.topo, cp.area[0], cp.area[1], cp.term[0], cp.term[1]} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m))
+	for _, o := range cp.own {
+		buf = binary.LittleEndian.AppendUint32(buf, o[0])
+		buf = binary.LittleEndian.AppendUint32(buf, o[1])
+	}
+	for _, h := range cp.home {
+		buf = append(buf, byte(h))
+	}
+	for _, r := range cp.repl {
+		if r {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	for _, g := range cp.gainS {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(g))
+	}
+	for _, c := range cp.cnt {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c[0]))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c[1]))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a MarshalBinary payload
+// (encoding.BinaryUnmarshaler), reusing the checkpoint's buffers when
+// they are large enough. The payload length is validated against the
+// encoded cell/net counts before any array is touched, so a truncated
+// or padded record is rejected rather than partially applied.
+func (cp *Checkpoint) UnmarshalBinary(data []byte) error {
+	const header = 4 + 6*8 + 2*4
+	if len(data) < header {
+		return fmt.Errorf("replication: checkpoint payload %d bytes, header needs %d", len(data), header)
+	}
+	if [4]byte(data[:4]) != checkpointMagic {
+		return fmt.Errorf("replication: bad checkpoint magic %q", data[:4])
+	}
+	var scal [6]int
+	for i := range scal {
+		scal[i] = int(int64(binary.LittleEndian.Uint64(data[4+8*i:])))
+	}
+	n := int(binary.LittleEndian.Uint32(data[4+6*8:]))
+	m := int(binary.LittleEndian.Uint32(data[4+6*8+4:]))
+	want := header + n*14 + m*8
+	if len(data) != want {
+		return fmt.Errorf("replication: checkpoint payload %d bytes, %d cells/%d nets need %d", len(data), n, m, want)
+	}
+	if cap(cp.own) < n {
+		cp.own = make([][2]uint32, n)
+		cp.home = make([]Block, n)
+		cp.repl = make([]bool, n)
+		cp.gainS = make([]int32, n)
+	}
+	if cap(cp.cnt) < m {
+		cp.cnt = make([][2]int32, m)
+	}
+	cp.own, cp.home, cp.repl, cp.gainS = cp.own[:n], cp.home[:n], cp.repl[:n], cp.gainS[:n]
+	cp.cnt = cp.cnt[:m]
+	p := header
+	for i := range cp.own {
+		cp.own[i][0] = binary.LittleEndian.Uint32(data[p:])
+		cp.own[i][1] = binary.LittleEndian.Uint32(data[p+4:])
+		p += 8
+	}
+	for i := range cp.home {
+		cp.home[i] = Block(data[p])
+		p++
+	}
+	for i := range cp.repl {
+		switch data[p] {
+		case 0:
+			cp.repl[i] = false
+		case 1:
+			cp.repl[i] = true
+		default:
+			return fmt.Errorf("replication: checkpoint replica flag %d for cell %d", data[p], i)
+		}
+		p++
+	}
+	for i := range cp.gainS {
+		cp.gainS[i] = int32(binary.LittleEndian.Uint32(data[p:]))
+		p += 4
+	}
+	for i := range cp.cnt {
+		cp.cnt[i][0] = int32(binary.LittleEndian.Uint32(data[p:]))
+		cp.cnt[i][1] = int32(binary.LittleEndian.Uint32(data[p+4:]))
+		p += 8
+	}
+	cp.cut, cp.topo = scal[0], scal[1]
+	cp.area = [2]int{scal[2], scal[3]}
+	cp.term = [2]int{scal[4], scal[5]}
+	cp.trailLen = 0
+	cp.valid = true
+	return nil
+}

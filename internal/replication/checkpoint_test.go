@@ -1,0 +1,227 @@
+package replication
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fpgapart/internal/bench"
+	"fpgapart/internal/hypergraph"
+)
+
+// checkpointGraph builds a mid-size clustered instance with an even
+// initial split, the substrate for the serialization round-trips.
+func checkpointGraph(t *testing.T) (*hypergraph.Graph, []Block) {
+	t.Helper()
+	g, err := bench.Generate(bench.Params{Cells: 300, PrimaryIn: 12, PrimaryOut: 8, Seed: 7, Clustering: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]Block, g.NumCells())
+	for i := range assign {
+		assign[i] = Block(i % 2)
+	}
+	return g, assign
+}
+
+// driveState applies a deterministic pseudo-random move sequence —
+// single moves, functional replications when eligible, unreplications
+// of replicated cells — standing in for the moves of an FM pass.
+// Invalid moves are skipped; the sequence depends only on seed.
+func driveState(t *testing.T, st *State, seed int64, steps int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	n := st.Graph().NumCells()
+	for i := 0; i < steps; i++ {
+		c := hypergraph.CellID(r.Intn(n))
+		var m Move
+		switch {
+		case st.IsReplicated(c):
+			m = Move{Cell: c, Kind: Unreplicate, To: Block(r.Intn(2))}
+		case st.CanReplicate(c, 0) && r.Intn(2) == 0:
+			splits := st.Splits(c)
+			m = Move{Cell: c, Kind: Replicate, Carry: splits[r.Intn(len(splits))]}
+		default:
+			m = Move{Cell: c, Kind: SingleMove}
+		}
+		if _, err := st.Apply(m); err != nil {
+			continue
+		}
+	}
+}
+
+// stateFingerprint captures everything the continued-pass comparison
+// cares about: the full dynamic arrays plus the maintained scalars.
+type stateFingerprint struct {
+	own   [][2]uint32
+	home  []Block
+	repl  []bool
+	gainS []int32
+	cnt   [][2]int32
+	cut   int
+	topo  int
+	area  [2]int
+	term  [2]int
+}
+
+func fingerprint(s *State) stateFingerprint {
+	return stateFingerprint{
+		own:   append([][2]uint32(nil), s.own...),
+		home:  append([]Block(nil), s.home...),
+		repl:  append([]bool(nil), s.repl...),
+		gainS: append([]int32(nil), s.gainS...),
+		cnt:   append([][2]int32(nil), s.cnt...),
+		cut:   s.cut, topo: s.topo, area: s.area, term: s.term,
+	}
+}
+
+// testWeights derives a small deterministic per-net weight table, the
+// shape the board-topology objective installs.
+func testWeights(g *hypergraph.Graph) []NetWeights {
+	w := make([]NetWeights, len(g.Nets))
+	for i := range w {
+		w[i] = NetWeights{Alone: [2]int32{int32(i % 3), int32((i + 1) % 3)}, Both: 2 + int32(i%2)}
+	}
+	return w
+}
+
+// TestCheckpointBinaryRoundTrip is the serialization contract the WAL
+// job store builds on: a checkpoint taken mid-run survives
+// encode→decode bit-exactly, restores onto a fresh state that passes
+// CheckInvariants, and the restored state continues a move sequence
+// byte-identically to the original — for both the classic unit-cut
+// objective and the weighted (board-topology) objective, with live
+// replica-flag state.
+func TestCheckpointBinaryRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		name := "classic"
+		if weighted {
+			name = "weighted"
+		}
+		t.Run(name, func(t *testing.T) {
+			g, assign := checkpointGraph(t)
+			st, err := NewState(g, assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var weights []NetWeights
+			if weighted {
+				weights = testWeights(g)
+				if err := st.SetNetWeights(weights); err != nil {
+					t.Fatal(err)
+				}
+			}
+			driveState(t, st, 41, 400)
+			if st.ReplicatedCount() == 0 {
+				t.Fatal("drive produced no replicated cells; the round-trip would not cover replica state")
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("pre-checkpoint invariants: %v", err)
+			}
+
+			var cp Checkpoint
+			st.SaveCheckpoint(&cp)
+			data, err := cp.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Checkpoint
+			if err := back.UnmarshalBinary(data); err != nil {
+				t.Fatal(err)
+			}
+			// Everything but the process-local trail position survives.
+			if back.trailLen != 0 {
+				t.Fatalf("decoded trailLen = %d, want 0", back.trailLen)
+			}
+			back.trailLen = cp.trailLen
+			if !reflect.DeepEqual(cp, back) {
+				t.Fatal("checkpoint did not round-trip bit-exactly")
+			}
+			back.trailLen = 0
+
+			st2, err := NewState(g, assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if weighted {
+				if err := st2.SetNetWeights(weights); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st2.RestoreCheckpoint(&back); err != nil {
+				t.Fatal(err)
+			}
+			if err := st2.CheckInvariants(); err != nil {
+				t.Fatalf("restored invariants: %v", err)
+			}
+			if !reflect.DeepEqual(fingerprint(st), fingerprint(st2)) {
+				t.Fatal("restored state differs from the checkpointed original")
+			}
+
+			// The continued pass: the same move sequence on the original
+			// and the deserialized restore must stay byte-identical at
+			// the end state.
+			driveState(t, st, 43, 400)
+			driveState(t, st2, 43, 400)
+			if !reflect.DeepEqual(fingerprint(st), fingerprint(st2)) {
+				t.Fatal("continued move sequence diverged after a serialization round-trip")
+			}
+			if err := st2.CheckInvariants(); err != nil {
+				t.Fatalf("post-continuation invariants: %v", err)
+			}
+		})
+	}
+}
+
+// TestCheckpointUnmarshalRejectsCorrupt enumerates the malformed
+// payload classes the WAL replay can hand the decoder.
+func TestCheckpointUnmarshalRejectsCorrupt(t *testing.T) {
+	g, assign := checkpointGraph(t)
+	st, err := NewState(g, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveState(t, st, 5, 100)
+	var cp Checkpoint
+	st.SaveCheckpoint(&cp)
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"short-header", func(b []byte) []byte { return b[:10] }},
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"bad-version", func(b []byte) []byte { b[3]++; return b }},
+		{"truncated-tail", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"padded-tail", func(b []byte) []byte { return append(b, 0) }},
+		{"bad-repl-flag", func(b []byte) []byte {
+			// The replica-flag section starts after the header and the
+			// ownership masks.
+			off := 4 + 6*8 + 2*4 + len(cp.own)*8 + len(cp.home)
+			b[off] = 7
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := tc.mut(append([]byte(nil), data...))
+			var back Checkpoint
+			if err := back.UnmarshalBinary(mut); err == nil {
+				t.Fatal("expected a decode error")
+			}
+		})
+	}
+}
+
+// TestCheckpointMarshalUnsaved rejects serializing a checkpoint that
+// was never saved.
+func TestCheckpointMarshalUnsaved(t *testing.T) {
+	var cp Checkpoint
+	if _, err := cp.MarshalBinary(); err == nil {
+		t.Fatal("expected an error for an unsaved checkpoint")
+	}
+}

@@ -62,6 +62,55 @@ type Options struct {
 	// (faultinject.SiteAttempt). Production runs leave it nil — the
 	// cost is one predicted branch per attempt.
 	Inject *faultinject.Plan
+	// Checkpoint, when non-nil, receives a Progress snapshot after
+	// every folded attempt. It is invoked by the single-threaded
+	// index-ordered reducer, so snapshots arrive in strict attempt
+	// order and callers may persist them without synchronization. A
+	// nil hook costs one predicted branch per fold and the enabled
+	// path allocates nothing (Progress is a flat value struct).
+	Checkpoint func(Progress)
+}
+
+// Progress is an attempt-granular snapshot of the reduction, handed to
+// Options.Checkpoint after each folded attempt. Together with the best
+// solution of a checkpointed run it is exactly the state a later
+// ResumeState needs: because attempt i derives all randomness from
+// Seed + i*SeedStride, a search resumed at Folded with the same
+// options folds the remaining attempts byte-identically to the
+// uninterrupted run.
+type Progress struct {
+	// Folded is the number of attempts the reduction covers so far.
+	Folded int
+	// BestAttempt is the attempt index of the incumbent best solution,
+	// -1 while no attempt has been accepted.
+	BestAttempt int
+	// Stale is the current count of consecutive accepted solutions
+	// that failed to improve the best (the MaxStale counter).
+	Stale int
+	// Stats mirrors the reduction statistics at this point.
+	Stats Stats
+}
+
+// ResumeState seeds the reduction mid-stream: Run starts dispatching
+// at attempt Folded and folds from the restored incumbent instead of
+// an empty reduction. Because per-attempt seeds depend only on the
+// attempt index, a resumed search reports byte-identical solutions
+// for every attempt at or past Folded, and the final Outcome equals
+// the uninterrupted run's whenever the restored fields match a
+// Progress snapshot (plus incumbent) of the same options.
+type ResumeState[S any] struct {
+	// Folded is the number of attempts already folded; dispatch
+	// resumes at this index.
+	Folded int
+	// BestAttempt is the attempt index that produced Best (-1 = none).
+	BestAttempt int
+	// Stale restores the MaxStale counter.
+	Stale int
+	// Stats restores the reduction statistics of the folded prefix.
+	Stats Stats
+	// Best and Found restore the incumbent best solution.
+	Best  S
+	Found bool
 }
 
 // AttemptFunc runs one randomized attempt. It must derive all
@@ -87,6 +136,9 @@ type Driver[S any] struct {
 	// the whole search (returned wrapped in *AttemptError) instead of
 	// counting as a failed attempt.
 	Fatal func(err error) bool
+	// Resume, when non-nil, restarts the search from a persisted
+	// progress point instead of attempt 0. See ResumeState.
+	Resume *ResumeState[S]
 }
 
 // Stats summarizes the reduction.
@@ -210,12 +262,34 @@ func Run[S any](ctx context.Context, opts Options, d Driver[S]) (Outcome[S], err
 	if opts.MaxStale < 0 {
 		return out, fmt.Errorf("search: MaxStale must be non-negative, got %d", opts.MaxStale)
 	}
+	start := 0
+	resumeStale := 0
+	bestAttempt := -1
+	if rs := d.Resume; rs != nil {
+		if rs.Folded < 0 || rs.Folded > opts.Attempts {
+			return out, fmt.Errorf("search: resume Folded %d outside [0,%d]", rs.Folded, opts.Attempts)
+		}
+		if rs.BestAttempt >= rs.Folded {
+			return out, fmt.Errorf("search: resume BestAttempt %d not inside the folded prefix %d", rs.BestAttempt, rs.Folded)
+		}
+		start = rs.Folded
+		resumeStale = rs.Stale
+		bestAttempt = rs.BestAttempt
+		out.Best, out.Found = rs.Best, rs.Found
+		out.Stats = rs.Stats
+		out.Stats.Folded = rs.Folded
+		if start == opts.Attempts {
+			// Everything was already folded before the interruption; the
+			// resumed outcome is the restored reduction itself.
+			return out, nil
+		}
+	}
 	workers := opts.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > opts.Attempts {
-		workers = opts.Attempts
+	if workers > opts.Attempts-start {
+		workers = opts.Attempts - start
 	}
 	stride := opts.SeedStride
 	if stride == 0 {
@@ -243,7 +317,7 @@ func Run[S any](ctx context.Context, opts Options, d Driver[S]) (Outcome[S], err
 	}
 	go func() {
 		defer close(next)
-		for i := 0; i < opts.Attempts; i++ {
+		for i := start; i < opts.Attempts; i++ {
 			select {
 			case next <- i:
 			case <-done:
@@ -262,8 +336,8 @@ func Run[S any](ctx context.Context, opts Options, d Driver[S]) (Outcome[S], err
 	// fold the contiguous frontier. Stopping (for any reason) freezes
 	// the reduction; the loop keeps draining so every worker exits.
 	pending := make(map[int]report[S], workers)
-	frontier := 0
-	stale := 0
+	frontier := start
+	stale := resumeStale
 	var fatal *AttemptError
 	var budget *ErrBudget
 	stopped := false
@@ -301,6 +375,7 @@ func Run[S any](ctx context.Context, opts Options, d Driver[S]) (Outcome[S], err
 					out.Best = rr.sol
 					out.Found = true
 					improved = true
+					bestAttempt = frontier
 				}
 				out.Stats.Accepted++
 				if improved {
@@ -321,6 +396,9 @@ func Run[S any](ctx context.Context, opts Options, d Driver[S]) (Outcome[S], err
 			}
 			frontier++
 			out.Stats.Folded = frontier
+			if opts.Checkpoint != nil {
+				opts.Checkpoint(Progress{Folded: frontier, BestAttempt: bestAttempt, Stale: stale, Stats: out.Stats})
+			}
 			if rr.err == nil && opts.MaxStale > 0 && stale >= opts.MaxStale {
 				out.Stats.StaleStop = true
 				stop()

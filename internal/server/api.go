@@ -59,8 +59,11 @@ type JobRequest struct {
 
 // JobStatus is the API view of a job.
 type JobStatus struct {
-	ID        string     `json:"id"`
-	State     string     `json:"state"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Recovered marks a job replayed from the durable store after a
+	// restart; it persists through the job's remaining lifecycle.
+	Recovered bool       `json:"recovered,omitempty"`
 	Result    *JobResult `json:"result,omitempty"`
 	Error     string     `json:"error,omitempty"`
 	ErrorKind string     `json:"error_kind,omitempty"`
@@ -71,22 +74,25 @@ type JobStatus struct {
 // contained panic and the result is the deterministic best of the
 // survivors.
 type JobResult struct {
-	Circuit         string        `json:"circuit"`
-	K               int           `json:"k"`
-	DeviceCost      float64       `json:"device_cost"`
-	AvgCLBUtil      float64       `json:"avg_clb_util"`
-	AvgIOBUtil      float64       `json:"avg_iob_util"`
-	ReplicatedCells int           `json:"replicated_cells"`
-	SourceCells     int           `json:"source_cells"`
-	Feasible        int           `json:"feasible"`
-	Failed          int           `json:"failed"`
-	Stopped         string        `json:"stopped,omitempty"`
-	Board           string        `json:"board,omitempty"`
-	TopoCost        *int          `json:"topo_cost,omitempty"`
-	Degraded        bool          `json:"degraded"`
-	Panicked        int           `json:"panicked,omitempty"`
-	PanickedSeeds   []int64       `json:"panicked_seeds,omitempty"`
-	Parts           []PartSummary `json:"parts"`
+	Circuit         string  `json:"circuit"`
+	K               int     `json:"k"`
+	DeviceCost      float64 `json:"device_cost"`
+	AvgCLBUtil      float64 `json:"avg_clb_util"`
+	AvgIOBUtil      float64 `json:"avg_iob_util"`
+	ReplicatedCells int     `json:"replicated_cells"`
+	SourceCells     int     `json:"source_cells"`
+	Feasible        int     `json:"feasible"`
+	Failed          int     `json:"failed"`
+	Stopped         string  `json:"stopped,omitempty"`
+	Board           string  `json:"board,omitempty"`
+	TopoCost        *int    `json:"topo_cost,omitempty"`
+	Degraded        bool    `json:"degraded"`
+	Panicked        int     `json:"panicked,omitempty"`
+	PanickedSeeds   []int64 `json:"panicked_seeds,omitempty"`
+	// ResumedFromAttempt is set when the search resumed from a durable
+	// checkpoint: the attempt index the resumed fold restarted at.
+	ResumedFromAttempt *int          `json:"resumed_from_attempt,omitempty"`
+	Parts              []PartSummary `json:"parts"`
 }
 
 // PartSummary describes one part of the solution.
@@ -118,6 +124,10 @@ func resultJSON(g *hypergraph.Graph, res core.Result, board *topology.Board) *Jo
 		out.Board = board.Name
 		topo := res.Summary.TopoCost
 		out.TopoCost = &topo
+	}
+	if res.Resumed {
+		from := res.ResumedFrom
+		out.ResumedFromAttempt = &from
 	}
 	for _, p := range res.Parts {
 		out.Parts = append(out.Parts, PartSummary{
@@ -181,7 +191,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func handleBuildInfo(w http.ResponseWriter, r *http.Request) {
 	info, ok := debug.ReadBuildInfo()
 	if !ok {
-		http.Error(w, "no build info", http.StatusNotFound)
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no build info", Kind: KindNotFound})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -197,6 +207,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 type apiError struct {
 	Error string `json:"error"`
 	Kind  string `json:"error_kind,omitempty"`
+}
+
+// muxErrorWriter rewrites the text/plain 404 and 405 bodies the
+// ServeMux generates itself (unknown path, wrong verb on a known
+// pattern) into the apiError JSON schema, so every non-2xx response on
+// the API carries a typed error kind. Handler-written JSON errors pass
+// through untouched — the rewrite triggers only when the Content-Type
+// at WriteHeader time is not application/json.
+type muxErrorWriter struct {
+	http.ResponseWriter
+	suppress bool
+}
+
+func (w *muxErrorWriter) WriteHeader(code int) {
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.suppress = true
+		kind, msg := KindNotFound, "unknown endpoint"
+		if code == http.StatusMethodNotAllowed {
+			kind, msg = KindMethodNotAllowed, "method not allowed"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.ResponseWriter.WriteHeader(code)
+		json.NewEncoder(w.ResponseWriter).Encode(apiError{Error: msg, Kind: kind})
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *muxErrorWriter) Write(b []byte) (int, error) {
+	if w.suppress {
+		// Swallow the mux's plain-text body; the JSON replacement is
+		// already written.
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // parseRequest turns a JobRequest into an admitted job's inputs.
@@ -335,11 +381,11 @@ func (s *Server) admissionError(w http.ResponseWriter, status int) {
 	switch status {
 	case http.StatusTooManyRequests:
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		writeJSON(w, status, apiError{Error: "job queue full, retry later", Kind: "overload"})
+		writeJSON(w, status, apiError{Error: "job queue full, retry later", Kind: KindOverload})
 	case http.StatusServiceUnavailable:
-		writeJSON(w, status, apiError{Error: "server is draining", Kind: "draining"})
+		writeJSON(w, status, apiError{Error: "server is draining", Kind: KindDraining})
 	default:
-		writeJSON(w, status, apiError{Error: http.StatusText(status)})
+		writeJSON(w, status, apiError{Error: http.StatusText(status), Kind: KindInternal})
 	}
 }
 
@@ -369,7 +415,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		parseFailure(w, err)
 		return
 	}
-	j, status := s.submit(requestID(r.Context()), req.ID, g, opts, timeout)
+	j, status := s.submit(requestID(r.Context()), req, g, opts, timeout)
 	if j == nil {
 		s.admissionError(w, status)
 		return
@@ -381,7 +427,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job", Kind: KindNotFound})
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -401,7 +447,7 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 		parseFailure(w, err)
 		return
 	}
-	j, status := s.submit(requestID(r.Context()), req.ID, g, opts, timeout)
+	j, status := s.submit(requestID(r.Context()), req, g, opts, timeout)
 	if j == nil {
 		s.admissionError(w, status)
 		return

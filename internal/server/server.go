@@ -23,6 +23,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"fpgapart/internal/core"
 	"fpgapart/internal/faultinject"
 	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/jobstore"
 	"fpgapart/internal/kway"
 	"fpgapart/internal/library"
 	"fpgapart/internal/netlist"
@@ -83,6 +85,27 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/.
 	// Off by default: profiling endpoints are operator-only surface.
 	EnablePprof bool
+	// Store, when non-nil, makes the job lifecycle durable: every
+	// submission, state transition, search checkpoint and completion is
+	// appended (and fsync'd) to the write-ahead log before the server
+	// acknowledges it, and New replays the store — completed jobs stay
+	// queryable through GET /v1/jobs/{id}, interrupted jobs are
+	// re-enqueued with the "recovered" flag and resume from their last
+	// checkpoint to the byte-identical fixed-seed result.
+	Store *jobstore.Store
+	// CheckpointEvery is the durable checkpoint cadence in folded
+	// attempts (default 1; ignored without Store).
+	CheckpointEvery int
+	// Distribute, when non-nil, switches the server into coordinator
+	// mode: instead of running the search locally, every job is handed
+	// to this hook, which fans the attempts out to remote workers (see
+	// internal/coord). The hook receives the original request — circuit
+	// text and board spec intact, for forwarding — and the parsed
+	// options, whose Checkpoint/Resume fields carry the durability
+	// plumbing; it must observe ctx and derive attempt seeds exactly as
+	// the local engine does (Seed + i*kway.SeedStride) so fixed-seed
+	// results stay byte-identical to local execution.
+	Distribute func(ctx context.Context, req *JobRequest, opts core.Options) (*JobResult, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -122,24 +145,46 @@ const (
 	StateRunning = "running"
 	StateDone    = "done"
 	StateFailed  = "failed"
+	// StateRecovered marks a job replayed from the durable store after a
+	// restart, waiting to resume; it becomes "running" when a worker
+	// picks it up, and the JobStatus.Recovered flag persists through
+	// completion.
+	StateRecovered = "recovered"
 )
 
-// Error kinds classify job failures for clients.
+// Error kinds classify job failures for clients. Every non-2xx API
+// response carries one of these in apiError.Kind.
 const (
-	KindMalformed  = "malformed"  // parse error or parser limit
-	KindInfeasible = "infeasible" // attempt budget ran without a feasible solution
-	KindTimeout    = "timeout"    // search budget expired first
-	KindCanceled   = "canceled"   // shutdown or client cancellation
-	KindInternal   = "internal"
+	KindMalformed        = "malformed"  // parse error or parser limit
+	KindInfeasible       = "infeasible" // attempt budget ran without a feasible solution
+	KindTimeout          = "timeout"    // search budget expired first
+	KindCanceled         = "canceled"   // shutdown or client cancellation
+	KindInternal         = "internal"
+	KindNotFound         = "not_found"          // unknown job ID or endpoint
+	KindMethodNotAllowed = "method_not_allowed" // known endpoint, wrong verb
+	KindOverload         = "overload"           // queue full; retry after the hint
+	KindDraining         = "draining"           // shutdown in progress
 )
+
+// JobFailure is a typed failure a Distribute hook returns to select the
+// API error kind directly (e.g. KindInfeasible when every remote
+// attempt was infeasible).
+type JobFailure struct {
+	Kind string
+	Msg  string
+}
+
+func (e *JobFailure) Error() string { return e.Msg }
 
 type job struct {
-	id      string
-	reqID   string // request ID of the submission that created the job
-	graph   *hypergraph.Graph
-	opts    core.Options
-	timeout time.Duration
-	cancel  context.CancelFunc // set while running; cuts the search
+	id        string
+	reqID     string // request ID of the submission that created the job
+	req       *JobRequest
+	graph     *hypergraph.Graph
+	opts      core.Options
+	timeout   time.Duration
+	recovered bool               // replayed from the durable store
+	cancel    context.CancelFunc // set while running; cuts the search
 
 	mu      sync.Mutex
 	state   string
@@ -159,7 +204,8 @@ func (j *job) setState(s string) {
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{ID: j.id, State: j.state, Result: j.result, Error: j.errMsg, ErrorKind: j.errKind}
+	return JobStatus{ID: j.id, State: j.state, Recovered: j.recovered,
+		Result: j.result, Error: j.errMsg, ErrorKind: j.errKind}
 }
 
 // Server is the HTTP handler plus the worker pool behind it.
@@ -190,7 +236,11 @@ type Server struct {
 }
 
 // New builds the service and starts its worker pool. Callers serve it
-// with net/http and stop it with Shutdown.
+// with net/http and stop it with Shutdown. With Config.Store set, New
+// first replays the durable job table: completed jobs become queryable
+// again, interrupted jobs are re-enqueued (ahead of new submissions,
+// with extra queue headroom so recovery never sheds) and resume from
+// their last persisted checkpoint.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -201,10 +251,14 @@ func New(cfg Config) *Server {
 		clock:      cfg.Clock,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
 	}
 	s.met = newMetricsBundle(cfg.Metrics, cfg.Workers, func() float64 { return float64(len(s.queue)) })
+	recovered := s.recoverJobs()
+	s.queue = make(chan *job, cfg.QueueDepth+len(recovered))
+	for _, j := range recovered {
+		s.queue <- j
+	}
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -213,7 +267,82 @@ func New(cfg Config) *Server {
 	return s
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// recoverJobs rebuilds the job table from the durable store. Completed
+// jobs re-enter the map with their persisted outcome; incomplete jobs
+// are returned for re-enqueueing, carrying Resume state when a
+// checkpoint was persisted. A job whose durable request can no longer
+// be rebuilt is failed durably rather than dropped silently.
+func (s *Server) recoverJobs() []*job {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	closed := make(chan struct{})
+	close(closed)
+	var out []*job
+	for _, rec := range s.cfg.Store.Jobs() {
+		switch {
+		case rec.Done:
+			j := &job{id: rec.ID, state: StateDone, recovered: true, done: closed}
+			var res JobResult
+			if err := json.Unmarshal(rec.Result, &res); err == nil {
+				j.result = &res
+			} else {
+				s.log.Warn("recovered job has undecodable result", "job", rec.ID, "err", err)
+			}
+			s.jobs[rec.ID] = j
+		case rec.Failed:
+			s.jobs[rec.ID] = &job{id: rec.ID, state: StateFailed, recovered: true,
+				errMsg: rec.Error, errKind: rec.ErrKind, done: closed}
+		default:
+			j, err := s.rebuildJob(rec)
+			if err != nil {
+				s.log.Error("job recovery failed", "job", rec.ID, "err", err)
+				if serr := s.cfg.Store.AppendFail(rec.ID, KindInternal, "recovery: "+err.Error()); serr != nil {
+					s.log.Error("failure record persist failed", "job", rec.ID, "err", serr)
+				}
+				s.jobs[rec.ID] = &job{id: rec.ID, state: StateFailed, recovered: true,
+					errMsg: "recovery: " + err.Error(), errKind: KindInternal, done: closed}
+				continue
+			}
+			s.jobs[rec.ID] = j
+			out = append(out, j)
+			if serr := s.cfg.Store.AppendState(rec.ID, jobstore.StateRecovered); serr != nil {
+				s.log.Error("state record persist failed", "job", rec.ID, "err", serr)
+			}
+			s.log.Info("job recovered", "job", rec.ID, "resuming", j.opts.Resume != nil)
+		}
+	}
+	return out
+}
+
+// rebuildJob re-parses a recovered job's durable request and attaches
+// its newest persisted checkpoint as the resume point.
+func (s *Server) rebuildJob(rec *jobstore.Job) (*job, error) {
+	if len(rec.Request) == 0 {
+		return nil, errors.New("no durable request payload")
+	}
+	req := new(JobRequest)
+	if err := json.Unmarshal(rec.Request, req); err != nil {
+		return nil, fmt.Errorf("durable request: %w", err)
+	}
+	g, opts, timeout, err := s.parseRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(rec.Checkpoint) > 0 {
+		cp := new(kway.SearchCheckpoint)
+		if err := json.Unmarshal(rec.Checkpoint, cp); err != nil {
+			return nil, fmt.Errorf("durable checkpoint: %w", err)
+		}
+		opts.Resume = cp
+	}
+	return &job{id: rec.ID, req: req, graph: g, opts: opts, timeout: timeout,
+		state: StateRecovered, recovered: true, done: make(chan struct{})}, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(&muxErrorWriter{ResponseWriter: w}, r)
+}
 
 // Ready reports whether the server is accepting new jobs.
 func (s *Server) Ready() bool {
@@ -226,8 +355,10 @@ func (s *Server) Ready() bool {
 // status: 202 accepted, 200 for an idempotent replay of a known ID,
 // 429 when the queue is full, 503 when draining. reqID is the
 // submitting request's ID; it is stored on the job so lifecycle logs
-// can be joined back to the request.
-func (s *Server) submit(reqID, id string, g *hypergraph.Graph, opts core.Options, timeout time.Duration) (*job, int) {
+// can be joined back to the request. With a durable store configured,
+// the submission is persisted (and fsync'd) once the job is admitted.
+func (s *Server) submit(reqID string, req *JobRequest, g *hypergraph.Graph, opts core.Options, timeout time.Duration) (*job, int) {
+	id := req.ID
 	s.jobsMu.Lock()
 	if id != "" {
 		if old, ok := s.jobs[id]; ok {
@@ -236,9 +367,15 @@ func (s *Server) submit(reqID, id string, g *hypergraph.Graph, opts core.Options
 			return old, http.StatusOK
 		}
 	} else {
-		id = fmt.Sprintf("job-%d", s.jobSeq.Add(1))
+		// Skip IDs taken by recovered jobs from a previous process life.
+		for {
+			id = fmt.Sprintf("job-%d", s.jobSeq.Add(1))
+			if _, ok := s.jobs[id]; !ok {
+				break
+			}
+		}
 	}
-	j := &job{id: id, reqID: reqID, graph: g, opts: opts, timeout: timeout, state: StateQueued, done: make(chan struct{})}
+	j := &job{id: id, reqID: reqID, req: req, graph: g, opts: opts, timeout: timeout, state: StateQueued, done: make(chan struct{})}
 	s.jobs[id] = j
 	s.jobsMu.Unlock()
 
@@ -253,6 +390,15 @@ func (s *Server) submit(reqID, id string, g *hypergraph.Graph, opts core.Options
 	select {
 	case s.queue <- j:
 		s.admit.RUnlock()
+		if s.cfg.Store != nil {
+			// Persist with the resolved ID so a replayed store rebuilds
+			// the same job, not an anonymous one.
+			preq := *req
+			preq.ID = id
+			if err := s.cfg.Store.AppendSubmit(id, &preq); err != nil {
+				s.log.Error("submit persist failed", "job", id, "err", err)
+			}
+		}
 		s.log.Info("job queued", "job", id, "request_id", reqID, "cells", g.NumCells(), "timeout", timeout)
 		return j, http.StatusAccepted
 	default:
@@ -298,6 +444,9 @@ func (s *Server) runJob(j *job) {
 	j.state = StateRunning
 	j.cancel = cancel
 	j.mu.Unlock()
+	s.persist(j.id, "state record", func() error {
+		return s.cfg.Store.AppendState(j.id, jobstore.StateRunning)
+	})
 
 	// Every job's engine trace feeds the server's metrics registry; the
 	// injected clock times its phases. Neither perturbs the search.
@@ -307,8 +456,27 @@ func (s *Server) runJob(j *job) {
 	if j.opts.Now == nil {
 		j.opts.Now = s.clock.Now
 	}
+	if s.cfg.Store != nil {
+		id := j.id
+		j.opts.CheckpointEvery = s.cfg.CheckpointEvery
+		j.opts.Checkpoint = func(cp kway.SearchCheckpoint) {
+			s.persist(id, "checkpoint", func() error {
+				return s.cfg.Store.AppendCheckpoint(id, cp)
+			})
+		}
+	}
 	start := s.clock.Now()
-	res, err := core.PartitionContext(ctx, j.graph, j.opts)
+	var result *JobResult
+	var err error
+	if s.cfg.Distribute != nil && j.req != nil {
+		result, err = s.cfg.Distribute(ctx, j.req, j.opts)
+	} else {
+		var res core.Result
+		res, err = core.PartitionContext(ctx, j.graph, j.opts)
+		if err == nil {
+			result = resultJSON(j.graph, res, j.opts.Board)
+		}
+	}
 	elapsed := s.clock.Now().Sub(start)
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -318,26 +486,74 @@ func (s *Server) runJob(j *job) {
 		j.errMsg = err.Error()
 		j.errKind = classify(err)
 		s.met.observeJobFailure(j.errKind)
+		if j.errKind == KindCanceled && !s.Ready() {
+			// Interrupted by the drain: leave the durable record without a
+			// terminal entry so a restarted daemon recovers the job and
+			// resumes it from its last checkpoint.
+			s.log.Warn("job interrupted by drain; recoverable on restart",
+				"job", j.id, "request_id", j.reqID, "elapsed", elapsed)
+			return
+		}
+		s.persist(j.id, "failure record", func() error {
+			return s.cfg.Store.AppendFail(j.id, j.errKind, j.errMsg)
+		})
 		s.log.Warn("job failed", "job", j.id, "request_id", j.reqID, "kind", j.errKind, "elapsed", elapsed, "err", err)
 		return
 	}
 	j.state = StateDone
-	j.result = resultJSON(j.graph, res, j.opts.Board)
+	j.result = result
+	s.persist(j.id, "completion record", func() error {
+		return s.cfg.Store.AppendDone(j.id, result)
+	})
 	s.met.jobsDone.Inc()
-	if res.Degraded {
+	if result.Degraded {
 		s.met.degraded.Inc()
 		s.log.Warn("job done degraded", "job", j.id, "request_id", j.reqID, "elapsed", elapsed,
-			"panicked", res.Panicked, "seeds", fmt.Sprint(res.PanickedSeeds))
+			"panicked", result.Panicked, "seeds", fmt.Sprint(result.PanickedSeeds))
 		return
 	}
 	s.log.Info("job done", "job", j.id, "request_id", j.reqID, "elapsed", elapsed,
-		"parts", len(res.Parts), "cost", res.Summary.DeviceCost())
+		"parts", len(result.Parts), "cost", result.DeviceCost)
+}
+
+// LocalAttempt returns a closure that runs one request on this
+// server's own engine, in the shape the coordinator's
+// graceful-degradation hook wants (coord.Pool.SetLocal): parse the
+// request, run the search under ctx, and render the API result. The
+// request's timeout field is ignored — the caller's ctx is the budget.
+func (s *Server) LocalAttempt() func(ctx context.Context, req *JobRequest) (*JobResult, error) {
+	return func(ctx context.Context, req *JobRequest) (*JobResult, error) {
+		g, opts, _, err := s.parseRequest(req)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.PartitionContext(ctx, g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return resultJSON(g, res, opts.Board), nil
+	}
+}
+
+// persist runs one durable-store append, logging (never failing the
+// job on) store errors. A nil store makes it a no-op.
+func (s *Server) persist(jobID, what string, fn func() error) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := fn(); err != nil {
+		s.log.Error("durable store append failed", "job", jobID, "record", what, "err", err)
+	}
 }
 
 // classify maps an engine failure to an API error kind, mirroring the
 // CLI's exit-code mapping (budget first: a timeout with no feasible
 // solution wraps both error types).
 func classify(err error) string {
+	var jf *JobFailure
+	if errors.As(err, &jf) {
+		return jf.Kind
+	}
 	var budget *search.ErrBudget
 	if errors.As(err, &budget) {
 		if errors.Is(budget.Cause, context.Canceled) {

@@ -36,6 +36,11 @@ const (
 	MetricTopoCost     = "fpgapart_solution_topo_cost"
 	MetricLinkLoad     = "fpgapart_board_link_load"
 	MetricLinkCapacity = "fpgapart_board_link_capacity"
+
+	// Durability metrics, populated only when a job store arms search
+	// checkpointing (KindCheckpoint/KindResume trace events).
+	MetricCheckpoints = "fpgapart_search_checkpoints_total"
+	MetricResumes     = "fpgapart_search_resumes_total"
 )
 
 // rejectReasons are the static carve-rejection codes emitted by the
@@ -94,6 +99,9 @@ type Bridge struct {
 
 	topoBest *Gauge
 	topoCost *Histogram
+
+	checkpoints *Counter
+	resumes     *Counter
 }
 
 // NewBridge registers the engine metric families on r and returns the
@@ -125,6 +133,9 @@ func NewBridge(r *Registry) *Bridge {
 
 		topoBest: r.Gauge(MetricTopoBest, "Hop-weighted interconnect of the incumbent best solution (board-backed runs only)."),
 		topoCost: r.Histogram(MetricTopoCost, "Hop-weighted interconnect per feasible solution (board-backed runs only).", ExpBuckets(1, 2, 16)),
+
+		checkpoints: r.Counter(MetricCheckpoints, "Search checkpoints persisted by the index-ordered reducer."),
+		resumes:     r.Counter(MetricResumes, "Searches restarted from a persisted checkpoint."),
 	}
 	rej := r.CounterVec(MetricCarveRejected, "Carve attempts rejected, by static rejection code.", "reason")
 	for _, reason := range rejectReasons {
@@ -192,5 +203,9 @@ func (b *Bridge) Event(e trace.Event) {
 		b.parCommits.Add(int64(e.Commits))
 		b.parStale.Add(int64(e.Stale))
 		b.parCommitsPerRnd.Observe(float64(e.Commits))
+	case trace.KindCheckpoint:
+		b.checkpoints.Inc()
+	case trace.KindResume:
+		b.resumes.Inc()
 	}
 }

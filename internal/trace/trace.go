@@ -61,6 +61,18 @@ const (
 	// and Stale the proposals rejected because an earlier commit of the
 	// same sub-round invalidated their gain.
 	KindParRound
+	// KindCheckpoint marks one persisted search checkpoint, emitted by
+	// the single-threaded index-ordered reducer: Folded is the number
+	// of attempts the checkpoint covers, BestAttempt the incumbent best
+	// attempt index (-1 while no attempt has been accepted). Checkpoint
+	// emission never perturbs search decisions, so fixed-seed results
+	// are byte-identical with or without checkpointing.
+	KindCheckpoint
+	// KindResume marks a search restarting from a persisted checkpoint
+	// instead of attempt 0: Folded is the attempt index the resumed run
+	// continues from (the JSONL field is resumed_from_attempt),
+	// BestAttempt the restored incumbent's attempt index.
+	KindResume
 )
 
 // Phase names carried by KindPhase events.
@@ -90,6 +102,10 @@ func (k Kind) String() string {
 		return "level"
 	case KindParRound:
 		return "parfm-round"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindResume:
+		return "resume"
 	default:
 		return "unknown"
 	}
@@ -143,6 +159,12 @@ type Event struct {
 	Proposals int
 	Commits   int
 	Stale     int
+	// Checkpoint/resume fields (KindCheckpoint, KindResume): Folded is
+	// the number of attempts the persisted reduction covers (for
+	// KindResume, the attempt index the resumed run continues from);
+	// BestAttempt is the incumbent best attempt index, -1 = none.
+	Folded      int
+	BestAttempt int
 }
 
 // Sink receives events. Implementations must be safe for concurrent
@@ -177,6 +199,10 @@ type Counters struct {
 	// ParCommits and ParStale total their proposal outcomes (from
 	// KindParRound events).
 	ParRounds, ParProposals, ParCommits, ParStale int64
+	// Checkpoints counts persisted search checkpoints and Resumes
+	// counts searches restarted from one (from KindCheckpoint and
+	// KindResume events).
+	Checkpoints, Resumes int64
 }
 
 // Agg is a Sink that aggregates events into Counters with atomic
@@ -187,6 +213,7 @@ type Agg struct {
 	solutions, feasible, panics                   int64
 	levels                                        int64
 	parRounds, parProposals, parCommits, parStale int64
+	checkpoints, resumes                          int64
 }
 
 // Event implements Sink.
@@ -218,6 +245,10 @@ func (a *Agg) Event(e Event) {
 		atomic.AddInt64(&a.parProposals, int64(e.Proposals))
 		atomic.AddInt64(&a.parCommits, int64(e.Commits))
 		atomic.AddInt64(&a.parStale, int64(e.Stale))
+	case KindCheckpoint:
+		atomic.AddInt64(&a.checkpoints, 1)
+	case KindResume:
+		atomic.AddInt64(&a.resumes, 1)
 	}
 }
 
@@ -238,6 +269,8 @@ func (a *Agg) Snapshot() Counters {
 		ParProposals:   atomic.LoadInt64(&a.parProposals),
 		ParCommits:     atomic.LoadInt64(&a.parCommits),
 		ParStale:       atomic.LoadInt64(&a.parStale),
+		Checkpoints:    atomic.LoadInt64(&a.checkpoints),
+		Resumes:        atomic.LoadInt64(&a.resumes),
 	}
 }
 
@@ -323,6 +356,12 @@ func (j *JSONL) Event(e Event) {
 		b = appendIntField(b, "proposals", e.Proposals)
 		b = appendIntField(b, "commits", e.Commits)
 		b = appendIntField(b, "stale", e.Stale)
+	case KindCheckpoint:
+		b = appendIntField(b, "folded", e.Folded)
+		b = appendIntField(b, "best_attempt", e.BestAttempt)
+	case KindResume:
+		b = appendIntField(b, "resumed_from_attempt", e.Folded)
+		b = appendIntField(b, "best_attempt", e.BestAttempt)
 	}
 	b = append(b, '}', '\n')
 	j.buf = b
