@@ -20,7 +20,8 @@
 // verification); 2 = infeasible instance (the full attempt budget ran
 // without a feasible solution); 3 = -timeout expired before any
 // feasible solution; 4 = malformed input (parse error or resource
-// limit, with line/column context on stderr).
+// limit, with line/column context on stderr); 5 = the -trace-out
+// span timeline could not be written.
 package main
 
 import (
@@ -42,6 +43,7 @@ import (
 	"fpgapart/internal/prof"
 	"fpgapart/internal/report"
 	"fpgapart/internal/search"
+	"fpgapart/internal/span"
 	"fpgapart/internal/techmap"
 	"fpgapart/internal/telemetry"
 	"fpgapart/internal/topology"
@@ -66,6 +68,7 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "stream structured engine events (FM passes, carves, solutions) as JSONL to this file")
 	board := flag.String("board", "", "multi-FPGA board topology: a spec (crossbar:N[:CAP], linear:N[:CAP], mesh:RxC[:CAP]) or a board-description file; switches the search to the hop-weighted interconnect objective")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (Prometheus text format 0.0.4) to this file")
+	traceOut := flag.String("trace-out", "", "record the run as a span tree and write it as Chrome trace_event JSON (load in Perfetto or chrome://tracing) to this file")
 	storeDir := flag.String("store", "", "durable checkpoint store directory: the search reduction is persisted every -checkpoint-every folded attempts so an interrupted run can continue with -resume")
 	resumeDir := flag.String("resume", "", "resume an interrupted run from the newest checkpoint in this store directory (implies -store DIR; flags and circuit must match the original run)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "durable checkpoint cadence in folded attempts (with -store)")
@@ -80,6 +83,7 @@ exit codes:
   2  infeasible instance: the attempt budget ran without a feasible solution
   3  -timeout expired before any feasible solution was found
   4  malformed input: parse error or resource limit (line/column on stderr)
+  5  -trace-out span timeline could not be written
 `)
 	}
 	flag.Parse()
@@ -109,6 +113,7 @@ exit codes:
 		progress:      *progress,
 		statsJSON:     *statsJSON,
 		metricsOut:    *metricsOut,
+		traceOut:      *traceOut,
 		board:         *board,
 		storeDir:      *storeDir,
 		resumeDir:     *resumeDir,
@@ -127,6 +132,10 @@ exit codes:
 // check comes first: a timeout with no feasible solution wraps both
 // error types, and "ran out of time" is the actionable diagnosis.
 func exitCode(err error) int {
+	var texp *traceExportError
+	if errors.As(err, &texp) {
+		return 5
+	}
 	var budget *search.ErrBudget
 	if errors.As(err, &budget) {
 		return 3
@@ -160,6 +169,7 @@ type runConfig struct {
 	progress      bool
 	statsJSON     string
 	metricsOut    string
+	traceOut      string
 	board         string
 	storeDir      string
 	resumeDir     string
@@ -230,7 +240,21 @@ func (p progressSink) Event(e trace.Event) {
 }
 
 func run(cfg runConfig) error {
+	// Span tracing: one "job" root span for the run, trace ID derived
+	// from the CLI store identity (cliJobID, seed, solutions) so a
+	// -resume run records into the same logical trace as the run it
+	// continues. Disarmed (the zero Running), every Start below is a
+	// predicted no-op branch.
+	var tracer *span.Tracer
+	var jobRun span.Running
+	if cfg.traceOut != "" {
+		tracer = span.NewTracer(span.Options{Process: "kpart"})
+		tid := span.DeriveTraceID(cliJobID, cfg.seed, cfg.solutions)
+		jobRun = tracer.Root(tid, 0).Start("job", -1)
+	}
+
 	parseStart := time.Now()
+	parseSpan := jobRun.Scope().Start("parse", -1)
 	f, err := os.Open(cfg.path)
 	if err != nil {
 		return err
@@ -257,6 +281,9 @@ func run(cfg runConfig) error {
 			return err
 		}
 	}
+	parseSpan.Detail(fmt.Sprintf("circuit=%s cells=%d", g.Name, g.NumCells()))
+	parseSpan.End()
+	jobRun.Detail(fmt.Sprintf("circuit=%s seed=%d solutions=%d", g.Name, cfg.seed, cfg.solutions))
 
 	var sinks []trace.Sink
 	var agg *trace.Agg
@@ -321,6 +348,7 @@ func run(cfg runConfig) error {
 		Trace:         sink,
 		Board:         board,
 		Resume:        resumeCP,
+		Spans:         jobRun.Scope(),
 	}
 	if store != nil {
 		opts.CheckpointEvery = cfg.ckptEvery
@@ -360,6 +388,17 @@ func run(cfg runConfig) error {
 		// counters up to the failure are exactly what an operator wants.
 		if merr := writeMetrics(cfg.metricsOut, reg); merr != nil && err == nil {
 			err = merr
+		}
+	}
+	if tracer != nil {
+		// End the job span first so the root frame is in the timeline;
+		// the export runs even on search failure — the spans up to the
+		// failure are the diagnosis. An unwritable timeline is its own
+		// failure mode (exit 5), mirroring the stats-stream contract.
+		jobRun.End()
+		spans, _ := tracer.Collector().Trace(jobRun.Scope().TraceID())
+		if terr := writeTrace(cfg.traceOut, spans); terr != nil && err == nil {
+			err = terr
 		}
 	}
 	if store != nil && err == nil && storeErr == nil {
@@ -436,6 +475,29 @@ func writeMetrics(path string, reg *telemetry.Registry) error {
 	}
 	if err != nil {
 		return fmt.Errorf("metrics snapshot %s: %w", path, err)
+	}
+	return nil
+}
+
+// traceExportError marks a -trace-out timeline that could not be
+// written; it maps to exit code 5.
+type traceExportError struct{ err error }
+
+func (e *traceExportError) Error() string { return e.err.Error() }
+func (e *traceExportError) Unwrap() error { return e.err }
+
+// writeTrace writes the recorded spans as Chrome trace_event JSON.
+func writeTrace(path string, spans []span.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return &traceExportError{fmt.Errorf("trace export %s: %w", path, err)}
+	}
+	err = span.WriteChromeTrace(f, spans)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return &traceExportError{fmt.Errorf("trace export %s: %w", path, err)}
 	}
 	return nil
 }

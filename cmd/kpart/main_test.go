@@ -18,6 +18,7 @@ import (
 	"fpgapart/internal/kway"
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/search"
+	"fpgapart/internal/span"
 )
 
 // capture redirects stdout around fn.
@@ -348,6 +349,99 @@ func TestRunStoreAndResume(t *testing.T) {
 	}
 	if !contains(out2, wantCost) {
 		t.Fatalf("replayed run lost the result:\n%s", out2)
+	}
+}
+
+// -trace-out must leave a well-formed Chrome trace_event file: the
+// JSON-object container form with displayTimeUnit, balanced B/E pairs
+// per (pid, tid), and the run's span vocabulary on the timeline.
+func TestRunTraceOut(t *testing.T) {
+	// A circuit too large for the biggest library device (272 usable
+	// CLBs), so the carve path runs FM and the timeline records
+	// fm-pass spans; -check adds the verify span.
+	g, err := bench.Generate(bench.Params{Cells: 400, PrimaryIn: 14, PrimaryOut: 8, Seed: 3, Clustering: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.clb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hypergraph.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	out, err := capture(t, func() error {
+		return run(runConfig{path: path, threshold: 1, solutions: 3, seed: 1, check: true, traceOut: tracePath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "partition: k=") {
+		t.Fatalf("missing partition line:\n%s", out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct span.ChromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		t.Fatalf("trace file is not Chrome trace JSON: %v", err)
+	}
+	if ct.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want \"ms\"", ct.DisplayTimeUnit)
+	}
+	type lane struct{ pid, tid int }
+	depth := make(map[lane]int)
+	names := make(map[string]bool)
+	for _, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			depth[lane{ev.PID, ev.TID}]++
+			names[ev.Name] = true
+		case "E":
+			depth[lane{ev.PID, ev.TID}]--
+			if depth[lane{ev.PID, ev.TID}] < 0 {
+				t.Fatalf("unbalanced E for pid=%d tid=%d", ev.PID, ev.TID)
+			}
+		case "M":
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	for k, d := range depth {
+		if d != 0 {
+			t.Fatalf("pid=%d tid=%d: %d unclosed B event(s)", k.pid, k.tid, d)
+		}
+	}
+	for _, want := range []string{"job", "parse", "search", "attempt", "fm-pass", "fold", "verify"} {
+		if !names[want] {
+			t.Fatalf("timeline missing %q span (have %v)", want, names)
+		}
+	}
+}
+
+// An unwritable -trace-out file must fail the run with the dedicated
+// exit code 5, mirroring the stats-stream contract: a deliverable the
+// tool could not write is never a silent success.
+func TestRunTraceOutWriteError(t *testing.T) {
+	path := writeCLB(t)
+	_, err := capture(t, func() error {
+		return run(runConfig{path: path, threshold: 1, solutions: 2, seed: 1,
+			traceOut: filepath.Join(t.TempDir(), "no-such-dir", "trace.json")})
+	})
+	if err == nil {
+		t.Fatal("expected error from unwritable trace path")
+	}
+	if !strings.Contains(err.Error(), "trace export") {
+		t.Fatalf("error should name the trace export: %v", err)
+	}
+	if got := exitCode(err); got != 5 {
+		t.Fatalf("exit code %d, want 5", got)
 	}
 }
 

@@ -39,16 +39,26 @@
 //	                       503 once draining starts
 //	GET  /metrics          Prometheus text exposition (engine + HTTP)
 //	GET  /debug/buildinfo  module and VCS metadata of the binary
+//	GET  /debug/trace/{job}     one job's span tree as JSON (cross-process
+//	                            in coordinator mode: worker spans are
+//	                            stitched in via traceparent propagation)
+//	GET  /debug/flightrecorder  the last N completed spans of this process
 //	GET  /debug/pprof/*    runtime profiles (only with -pprof)
 //
 // Logs are structured (log/slog): every request carries an
-// X-Request-Id, and job lifecycle records join the job ID back to the
-// submitting request's ID. -log-json switches from logfmt-style text
-// to one JSON object per line.
+// X-Request-Id (a well-formed inbound one is adopted, so a
+// coordinator's ID follows its jobs onto worker logs), and job
+// lifecycle records join the job ID back to the submitting request's
+// ID. -log-json switches from logfmt-style text to one JSON object
+// per line.
 //
 // On SIGTERM/SIGINT the daemon stops admission, drains queued and
 // in-flight jobs, and exits; jobs still running when -drain-timeout
-// expires are cut at their next deterministic carve boundary.
+// expires are cut at their next deterministic carve boundary. With
+// -store, the drain also writes a final metrics snapshot (Prometheus
+// text, the same format kpart -metrics-out emits) to metrics.prom in
+// the store directory, so the telemetry of the last moments of a
+// process — otherwise lost with the scrape endpoint — survives.
 package main
 
 import (
@@ -60,6 +70,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -220,6 +231,14 @@ func main() {
 		drainFailed = true
 	}
 	if store != nil {
+		// The scrape endpoint dies with the process; persist a last
+		// metrics snapshot next to the store so the final counters of
+		// this process life stay inspectable.
+		if err := writeFinalMetrics(filepath.Join(*storeDir, "metrics.prom"), reg); err != nil {
+			logger.Warn("final metrics snapshot", "err", err)
+		} else {
+			logger.Info("final metrics snapshot written", "path", filepath.Join(*storeDir, "metrics.prom"))
+		}
 		// Compact before closing so the next start replays a snapshot
 		// plus a short tail instead of the full history. Jobs the drain
 		// cut are still incomplete in the store and recover on restart.
@@ -235,4 +254,24 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("drained cleanly")
+}
+
+// writeFinalMetrics snapshots the registry as Prometheus text (the
+// format kpart -metrics-out writes), atomically via rename so a crash
+// mid-write never leaves a torn snapshot.
+func writeFinalMetrics(path string, reg *telemetry.Registry) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = reg.WriteText(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -17,6 +17,7 @@ import (
 
 	"fpgapart/internal/bench"
 	"fpgapart/internal/hypergraph"
+	"fpgapart/internal/span"
 )
 
 // getBody fetches url and returns the body, failing on a non-200.
@@ -376,6 +377,146 @@ func TestCoordinatorMode(t *testing.T) {
 			}
 		case <-time.After(10 * time.Second):
 			t.Fatal("daemon did not drain within 10s of SIGTERM")
+		}
+	}
+}
+
+// TestCoordinatorStitchedTrace is the black-box tracing smoke: a job
+// fanned out by a coordinator daemon must yield ONE trace tree on
+// /debug/trace/{job} containing spans minted by both processes —
+// coordinator rpc spans with the worker's job subtrees stitched
+// underneath via traceparent propagation. It also covers the drain
+// contract: SIGTERM with -store leaves a final metrics snapshot.
+func TestCoordinatorStitchedTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	circuit := benchCircuit(t)
+	storeDir := t.TempDir()
+
+	workerAddr := freeAddr(t)
+	worker := exec.Command(bin, "-addr", workerAddr, "-workers", "2", "-drain-timeout", "2s", "-log-json")
+	worker.Stderr = os.Stderr
+	if err := worker.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Process.Kill()
+	waitUp(t, "http://"+workerAddr)
+
+	coordAddr := freeAddr(t)
+	coordd := exec.Command(bin, "-addr", coordAddr,
+		"-workers", "http://"+workerAddr, "-tries", "2", "-store", storeDir,
+		"-drain-timeout", "2s", "-log-json")
+	coordd.Stderr = os.Stderr
+	if err := coordd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coordd.Process.Kill()
+	base := "http://" + coordAddr
+	waitUp(t, base)
+
+	resp, err := http.Post(base+"/v1/jobs?solutions=3&seed=1", "text/plain", strings.NewReader(circuit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d\n%s", resp.StatusCode, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit response: %v\n%s", err, body)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := getBody(t, base+"/v1/jobs/"+sub.ID)
+		if strings.Contains(st, `"state":"done"`) {
+			break
+		}
+		if strings.Contains(st, `"state":"failed"`) {
+			t.Fatalf("job failed:\n%s", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	var tr struct {
+		Job   string       `json:"job"`
+		Spans int          `json:"spans"`
+		Tree  []*span.Node `json:"tree"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, base+"/debug/trace/"+sub.ID)), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Job != sub.ID || tr.Spans == 0 || len(tr.Tree) == 0 {
+		t.Fatalf("bad trace body: %+v", tr)
+	}
+	// Walk the tree: span IDs embed the minting process's origin, so a
+	// stitched cross-process trace must carry at least two distinct
+	// origins, and every worker job subtree hangs under a coordinator
+	// rpc span.
+	origins := make(map[uint64]bool)
+	var remoteJobs, rpcs int
+	var walk func(n *span.Node, parent string)
+	walk = func(n *span.Node, parent string) {
+		origins[uint64(n.ID)>>40] = true
+		if n.Name == "rpc" {
+			rpcs++
+		}
+		if n.Name == "job" && parent == "rpc" {
+			remoteJobs++
+		}
+		for _, c := range n.Children {
+			walk(c, n.Name)
+		}
+	}
+	for _, n := range tr.Tree {
+		walk(n, "")
+	}
+	if len(origins) < 2 {
+		t.Fatalf("trace has spans from %d origin(s), want >= 2 (coordinator + worker)", len(origins))
+	}
+	if rpcs < 3 {
+		t.Fatalf("expected >= 3 rpc spans (one per attempt), got %d", rpcs)
+	}
+	if remoteJobs == 0 {
+		t.Fatal("no worker job subtree stitched under an rpc span")
+	}
+	flight := getBody(t, base+"/debug/flightrecorder")
+	if !strings.Contains(flight, `"process":"kpartd"`) || !strings.Contains(flight, `"name":"job"`) {
+		t.Fatalf("flight recorder missing completed spans:\n%.500s", flight)
+	}
+
+	for _, cmd := range []*exec.Cmd{coordd, worker} {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not drain within 10s of SIGTERM")
+		}
+	}
+	// The drain must have left a final metrics snapshot next to the
+	// store — the same Prometheus text format kpart -metrics-out emits.
+	snap, err := os.ReadFile(filepath.Join(storeDir, "metrics.prom"))
+	if err != nil {
+		t.Fatalf("final metrics snapshot missing: %v", err)
+	}
+	for _, want := range []string{"# TYPE", "fpgapart_jobs_total", "fpgapart_coord_attempts_total"} {
+		if !bytes.Contains(snap, []byte(want)) {
+			t.Fatalf("final metrics snapshot missing %q:\n%.500s", want, snap)
 		}
 	}
 }

@@ -50,6 +50,7 @@ import (
 	"fpgapart/internal/kway"
 	"fpgapart/internal/search"
 	"fpgapart/internal/server"
+	"fpgapart/internal/span"
 	"fpgapart/internal/telemetry"
 	"fpgapart/internal/trace"
 )
@@ -243,7 +244,8 @@ func (p *Pool) Distribute(ctx context.Context, req *server.JobRequest, opts core
 		// same defaulted search shape (and checkpoint identity) it would.
 		solutions = kway.DefaultSolutions
 	}
-	p.log.Info("distributing search", "attempts", solutions, "seed", opts.Seed, "pool", len(p.cfg.Workers))
+	rid := server.RequestIDFromContext(ctx)
+	p.log.Info("distributing search", "request_id", rid, "attempts", solutions, "seed", opts.Seed, "pool", len(p.cfg.Workers))
 
 	// Fold-side aggregates, maintained by Observe inside the
 	// single-threaded reducer — the same bookkeeping the local engine
@@ -334,8 +336,17 @@ func (p *Pool) Distribute(ctx context.Context, req *server.JobRequest, opts core
 			// The incumbent is reconstructed by replaying its attempt on
 			// the pool: the solution is a pure function of the attempt
 			// seed, so the re-fetch is byte-identical to the solution the
-			// interrupted run held.
-			sol, rerr := p.runAttempt(ctx, req, cp.BestAttempt, opts.Seed+int64(cp.BestAttempt)*kway.SeedStride)
+			// interrupted run held. The replay's spans land under a
+			// "resume" span in the original run's trace (the job span's
+			// trace is derived from the checkpoint identity).
+			resumeRun := opts.Spans.Start("resume", cp.BestAttempt)
+			rctx := ctx
+			if opts.Spans.Enabled() {
+				resumeRun.Detail(fmt.Sprintf("folded=%d best_attempt=%d", cp.Folded, cp.BestAttempt))
+				rctx = span.NewContext(ctx, resumeRun.Scope())
+			}
+			sol, rerr := p.runAttempt(rctx, req, cp.BestAttempt, opts.Seed+int64(cp.BestAttempt)*kway.SeedStride)
+			resumeRun.End()
 			if rerr != nil {
 				return nil, fmt.Errorf("coord: checkpoint replay of attempt %d failed: %w", cp.BestAttempt, rerr)
 			}
@@ -377,6 +388,10 @@ func (p *Pool) Distribute(ctx context.Context, req *server.JobRequest, opts core
 		}
 	}
 
+	// The search span mirrors the local engine's: attempts nest under
+	// it, and every remote attempt hangs its rpc spans (and the worker's
+	// ingested spans) off its own attempt span.
+	searchSpan := opts.Spans.Start("search", -1)
 	out, serr := search.Run(ctx, search.Options{
 		Attempts:   solutions,
 		Workers:    p.cfg.Concurrency,
@@ -384,7 +399,9 @@ func (p *Pool) Distribute(ctx context.Context, req *server.JobRequest, opts core
 		SeedStride: kway.SeedStride,
 		MaxStale:   opts.MaxStale,
 		Checkpoint: sCheckpoint,
+		Spans:      searchSpan.Scope(),
 	}, drv)
+	searchSpan.End()
 
 	var budget *search.ErrBudget
 	if serr != nil {
@@ -464,6 +481,7 @@ func (p *Pool) runAttempt(ctx context.Context, req *server.JobRequest, attempt i
 		return nil, fmt.Errorf("coord: marshal attempt %d: %w", attempt, err)
 	}
 
+	rid := server.RequestIDFromContext(ctx)
 	var last rpcOutcome
 	for try := 0; try < p.cfg.Tries; try++ {
 		if cerr := ctx.Err(); cerr != nil {
@@ -487,7 +505,7 @@ func (p *Pool) runAttempt(ctx context.Context, req *server.JobRequest, attempt i
 		if try < p.cfg.Tries-1 {
 			p.met.retry()
 			wait := p.backoff(attempt, try, out.retryAfter)
-			p.log.Warn("attempt retrying", "attempt", attempt, "try", try, "wait", wait, "err", out.err)
+			p.log.Warn("attempt retrying", "request_id", rid, "attempt", attempt, "try", try, "wait", wait, "err", out.err)
 			if !sleepCtx(ctx, wait) {
 				return nil, fmt.Errorf("coord: attempt %d: %w", attempt, ctx.Err())
 			}
@@ -496,7 +514,7 @@ func (p *Pool) runAttempt(ctx context.Context, req *server.JobRequest, attempt i
 	if p.local != nil {
 		p.met.attempt(OutcomeFallback)
 		p.met.fallback()
-		p.log.Warn("worker pool exhausted; running attempt locally", "attempt", attempt, "err", last.err)
+		p.log.Warn("worker pool exhausted; running attempt locally", "request_id", rid, "attempt", attempt, "err", last.err)
 		sol, err := p.local(ctx, &r)
 		if err == nil {
 			return sol, nil
@@ -520,7 +538,7 @@ func (p *Pool) hedgedPost(ctx context.Context, attempt, try int, body []byte) rp
 	n := len(p.cfg.Workers)
 	primary := p.cfg.Workers[(attempt+try)%n]
 	ch := make(chan rpcOutcome, 2)
-	go func() { ch <- p.post(ctx, primary, body) }()
+	go func() { ch <- p.post(ctx, primary, attempt, try, body) }()
 	var hedgeC <-chan time.Time
 	if p.cfg.HedgeAfter > 0 && n > 1 {
 		timer := time.NewTimer(p.cfg.HedgeAfter)
@@ -544,9 +562,10 @@ func (p *Pool) hedgedPost(ctx context.Context, attempt, try int, body []byte) rp
 			hedgeC = nil
 			secondary := p.cfg.Workers[(attempt+try+1)%n]
 			p.met.hedge()
-			p.log.Info("hedging straggler", "attempt", attempt, "try", try, "worker", secondary)
+			p.log.Info("hedging straggler", "request_id", server.RequestIDFromContext(ctx),
+				"attempt", attempt, "try", try, "worker", secondary)
 			outstanding++
-			go func() { ch <- p.post(ctx, secondary, body) }()
+			go func() { ch <- p.post(ctx, secondary, attempt, try, body) }()
 		}
 	}
 }
@@ -556,7 +575,23 @@ func (p *Pool) hedgedPost(ctx context.Context, attempt, try int, body []byte) rp
 const maxResponse = 8 << 20
 
 // post issues one request to one worker and classifies the response.
-func (p *Pool) post(ctx context.Context, worker string, body []byte) rpcOutcome {
+// With spans armed (the attempt's scope rides in ctx) the wire call is
+// wrapped in an "rpc" span whose traceparent is forwarded to the
+// worker, and the spans the worker returns are ingested into the
+// coordinator's collector — one stitched cross-process trace.
+func (p *Pool) post(ctx context.Context, worker string, attempt, try int, body []byte) rpcOutcome {
+	sc := span.FromContext(ctx)
+	rpc := sc.Start("rpc", attempt)
+	if sc.Enabled() {
+		rpc.Detail(fmt.Sprintf("worker=%s try=%d", worker, try))
+	}
+	out := p.postOnce(ctx, worker, rpc.Scope(), body)
+	rpc.End()
+	return out
+}
+
+// postOnce is one wire exchange under an rpc span's scope.
+func (p *Pool) postOnce(ctx context.Context, worker string, rpcScope span.Scope, body []byte) rpcOutcome {
 	rctx, cancel := context.WithTimeout(ctx, p.cfg.AttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodPost, worker+"/v1/partition", bytes.NewReader(body))
@@ -564,6 +599,14 @@ func (p *Pool) post(ctx context.Context, worker string, body []byte) rpcOutcome 
 		return rpcOutcome{class: classFatal, err: fmt.Errorf("coord: worker %s: %w", worker, err)}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tp := rpcScope.Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	if rid := server.RequestIDFromContext(ctx); rid != "" {
+		// The worker adopts the coordinator's request ID, so both
+		// processes' logs join on one value.
+		req.Header.Set("X-Request-Id", rid)
+	}
 	start := time.Now()
 	resp, err := p.client.Do(req)
 	if err != nil {
@@ -585,6 +628,9 @@ func (p *Pool) post(ctx context.Context, worker string, body []byte) rpcOutcome 
 		var st server.JobStatus
 		if err := json.Unmarshal(payload, &st); err != nil || st.Result == nil {
 			return rpcOutcome{class: classTransient, err: fmt.Errorf("worker %s: malformed 200 response", worker)}
+		}
+		if t := rpcScope.Tracer(); t != nil && len(st.Spans) > 0 {
+			t.Ingest(st.Spans)
 		}
 		p.met.latency(time.Since(start).Seconds())
 		return rpcOutcome{class: classOK, sol: st.Result}

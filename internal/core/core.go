@@ -27,6 +27,7 @@ import (
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/objective"
 	"fpgapart/internal/replication"
+	"fpgapart/internal/span"
 	"fpgapart/internal/techmap"
 	"fpgapart/internal/topology"
 	"fpgapart/internal/trace"
@@ -117,7 +118,12 @@ type Options struct {
 	// byte-identical result of the uninterrupted run (see
 	// kway.Options.Resume).
 	Resume *kway.SearchCheckpoint
-	Seed   int64
+	// Spans, when armed, records the run as a causal span tree under
+	// the caller's scope (see internal/span and kway.Options.Spans).
+	// Spans only read the clock; the disarmed zero value is inert and
+	// fixed-seed results are byte-identical either way.
+	Spans span.Scope
+	Seed  int64
 }
 
 func (o Options) fill() Options {
@@ -166,6 +172,7 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		Checkpoint:      opts.Checkpoint,
 		CheckpointEvery: opts.CheckpointEvery,
 		Resume:          opts.Resume,
+		Spans:           opts.Spans,
 		Seed:            opts.Seed,
 	}
 	if opts.Board != nil {

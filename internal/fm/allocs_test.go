@@ -51,7 +51,14 @@ func TestFMPassAllocs(t *testing.T) {
 			e := &r.e
 			e.cfg = cfg.withDefaults()
 			e.replOnly = tc.replOnly
-			if avg := testing.AllocsPerRun(5, func() { e.pass() }); avg != 0 {
+			// Bracket each pass with the disarmed span scope exactly as
+			// the phase loop does: a zero Scope must cost a predicted
+			// branch, never an allocation.
+			if avg := testing.AllocsPerRun(5, func() {
+				run := e.cfg.Spans.Start("fm-pass", e.cfg.TraceAttempt)
+				e.pass()
+				run.End()
+			}); avg != 0 {
 				t.Fatalf("steady-state pass allocates %v times", avg)
 			}
 		})

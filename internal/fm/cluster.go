@@ -29,12 +29,12 @@ func ClusterAssignFrom(g *hypergraph.Graph, seed int64, start hypergraph.CellID,
 // assignment. A zero value is ready to use; reusing one across calls on
 // graphs of similar size eliminates all steady-state allocations.
 type ClusterScratch struct {
-	visited []bool
-	queue   []hypergraph.CellID
-	netSeen []uint32 // per net: epoch stamp for duplicate suppression
+	visited  []bool
+	queue    []hypergraph.CellID
+	netSeen  []uint32 // per net: epoch stamp for duplicate suppression
 	cellSeen []uint32 // per cell: epoch stamp (peripheral scan)
-	periph  []hypergraph.CellID
-	epoch   uint32
+	periph   []hypergraph.CellID
+	epoch    uint32
 }
 
 func (cs *ClusterScratch) grow(numCells, numNets int) {

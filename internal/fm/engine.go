@@ -22,6 +22,7 @@ import (
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/parfm"
 	"fpgapart/internal/replication"
+	"fpgapart/internal/span"
 	"fpgapart/internal/trace"
 )
 
@@ -63,6 +64,12 @@ type Config struct {
 	// TraceAttempt labels emitted events with the enclosing solution
 	// attempt index; use -1 for standalone runs.
 	TraceAttempt int
+	// Spans, when armed, times every pass as an "fm-pass" span in the
+	// enclosing attempt's trace. The disarmed zero value costs a
+	// single predicted branch per pass, keeping the steady-state pass
+	// allocation-free (see TestFMPassAllocs). Span clock readings feed
+	// only the trace, never search decisions.
+	Spans span.Scope
 	// Inject, when non-nil, consults the fault plan at every pass
 	// boundary (faultinject.SitePass, ordinal = pass sequence within
 	// the run, labeled with TraceAttempt). Testing only; nil in
@@ -199,6 +206,7 @@ func (r *Runner) Run(st *replication.State, cfg Config) (Result, error) {
 			Threshold: cfg.Threshold, MaxPasses: cfg.MaxPasses,
 			Workers: cfg.RefineWorkers, Seed: cfg.Seed,
 			Trace: cfg.Trace, TraceAttempt: cfg.TraceAttempt,
+			Spans:  cfg.Spans,
 			Inject: cfg.Inject,
 		})
 		res := Result{Cut: pres.Cut, Passes: pres.Passes, Moves: pres.Moves}
@@ -257,7 +265,9 @@ func (r *Runner) Run(st *replication.State, cfg Config) (Result, error) {
 					return any
 				}
 			}
+			run := cfg.Spans.Start("fm-pass", cfg.TraceAttempt)
 			improved, moves := e.pass()
+			run.End()
 			res.Passes++
 			res.Moves += moves
 			if !improved {

@@ -15,6 +15,7 @@ import (
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/kway"
 	"fpgapart/internal/library"
+	"fpgapart/internal/span"
 	"fpgapart/internal/trace"
 )
 
@@ -149,5 +150,31 @@ func TestRefineWorkersGateIsInert(t *testing.T) {
 		res, rec := goldenRun(t, kway.Options{RefineWorkers: workers})
 		goldenCompare(t, "flat_golden_result.txt", goldenRender(t, res))
 		goldenCompare(t, "flat_golden_trace.jsonl", goldenTrace(t, rec))
+	}
+}
+
+// TestSpansArmedIsInert proves the span instrumentation is a pure
+// observer: a fixed-seed run with an armed span.Scope must reproduce
+// the flat golden fixtures byte-for-byte — the same partition AND
+// the same JSONL trace stream — while actually recording spans.
+func TestSpansArmedIsInert(t *testing.T) {
+	tracer := span.NewTracer(span.Options{Process: "kway-test", Now: goldenClock()})
+	root := tracer.Root(span.DeriveTraceID("golden", 11, 6), 0).Start("job", -1)
+	res, rec := goldenRun(t, kway.Options{Spans: root.Scope()})
+	root.End()
+	goldenCompare(t, "flat_golden_result.txt", goldenRender(t, res))
+	goldenCompare(t, "flat_golden_trace.jsonl", goldenTrace(t, rec))
+	spans, dropped := tracer.Collector().Trace(root.Scope().TraceID())
+	if dropped != 0 {
+		t.Fatalf("collector dropped %d spans", dropped)
+	}
+	names := make(map[string]int)
+	for _, s := range spans {
+		names[s.Name]++
+	}
+	for _, want := range []string{"job", "search", "attempt", "fm-pass", "fold"} {
+		if names[want] == 0 {
+			t.Fatalf("armed run recorded no %q span (have %v)", want, names)
+		}
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"fpgapart/internal/objective"
 	"fpgapart/internal/replication"
 	"fpgapart/internal/search"
+	"fpgapart/internal/span"
 	"fpgapart/internal/topology"
 	"fpgapart/internal/trace"
 	"fpgapart/internal/verify"
@@ -143,7 +144,18 @@ type Options struct {
 	// to the uninterrupted run. The checkpoint's Seed and Solutions
 	// must match the options.
 	Resume *SearchCheckpoint
-	Seed   int64
+	// Spans, when armed, records the search as a causal span tree
+	// under the caller's scope (internal/span): one "search" span over
+	// the whole reduction, an "attempt" span per solution attempt
+	// (minted by internal/search), "fold"/"verify" spans inside each
+	// attempt, engine spans (fm-pass / parfm-pass / coarsen / level /
+	// uncoarsen) beneath, and a "resume" span over a checkpoint
+	// replay. Spans only read the injectable clock — fixed-seed
+	// results are byte-identical armed or disarmed (the golden-diff
+	// suite runs both), and the disarmed zero value costs one
+	// predicted branch per site.
+	Spans span.Scope
+	Seed  int64
 }
 
 // SearchCheckpoint is a serializable snapshot of the k-way search's
@@ -396,6 +408,12 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 					panic(v)
 				}
 			}()
+			// The orchestrator hands each attempt its own span scope
+			// through the context; engine spans (fm-pass, level, …)
+			// nest under it via the options copy.
+			if scope := span.FromContext(ctx); scope.Enabled() {
+				o.Spans = scope
+			}
 			parts, tr, err := partitionOnce(ctx, g, o, attempt, seed, &sc)
 			if err != nil {
 				return Result{}, err
@@ -404,6 +422,7 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 			if o.Trace != nil {
 				foldStart = now()
 			}
+			foldSpan := o.Spans.Start("fold", attempt)
 			remapDevices(parts, o.Library)
 			res := assemble(g, parts)
 			if tr != nil {
@@ -417,9 +436,11 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 					graphs[i] = parts[i].Graph
 				}
 				if rerr := verify.Routing(tr.board, graphs); rerr != nil {
+					foldSpan.End()
 					return Result{}, fmt.Errorf("kway: board %s: %w", tr.board.Name, rerr)
 				}
 			}
+			foldSpan.End()
 			if o.Trace != nil {
 				emitPhase(o.Trace, attempt, trace.PhaseFold, foldStart)
 			}
@@ -428,9 +449,12 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 				if o.Trace != nil {
 					verifyStart = now()
 				}
+				verifySpan := o.Spans.Start("verify", attempt)
 				if verr := res.Verify(g); verr != nil {
+					verifySpan.End()
 					return Result{}, &VerificationError{Stage: "solution", Err: verr}
 				}
+				verifySpan.End()
 				if o.Trace != nil {
 					emitPhase(o.Trace, attempt, trace.PhaseVerify, verifyStart)
 				}
@@ -515,7 +539,18 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 			replayOpts := opts
 			replayOpts.Trace = nil
 			replayOpts.Inject = nil
-			sol, rerr := newAttempt(replayOpts)(ctx, cp.BestAttempt, opts.Seed+int64(cp.BestAttempt)*SeedStride)
+			// The replay's spans land under a "resume" span in the same
+			// trace as the original run (the caller derives the TraceID
+			// from the checkpoint identity), so a crash-recovered job
+			// reads as one timeline.
+			rctx := ctx
+			resumeSpan := opts.Spans.Start("resume", cp.BestAttempt)
+			if opts.Spans.Enabled() {
+				resumeSpan.Detail(fmt.Sprintf("folded=%d best_attempt=%d", cp.Folded, cp.BestAttempt))
+				rctx = span.NewContext(ctx, resumeSpan.Scope())
+			}
+			sol, rerr := newAttempt(replayOpts)(rctx, cp.BestAttempt, opts.Seed+int64(cp.BestAttempt)*SeedStride)
+			resumeSpan.End()
 			if rerr != nil {
 				return Result{}, fmt.Errorf("kway: checkpoint replay of attempt %d failed: %w", cp.BestAttempt, rerr)
 			}
@@ -563,6 +598,7 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 	if opts.Trace != nil {
 		searchStart = now()
 	}
+	searchSpan := opts.Spans.Start("search", -1)
 	out, serr := search.Run(ctx, search.Options{
 		Attempts:   opts.Solutions,
 		Workers:    opts.Workers,
@@ -571,7 +607,9 @@ func PartitionContext(ctx context.Context, g *hypergraph.Graph, opts Options) (R
 		MaxStale:   opts.MaxStale,
 		Inject:     opts.Inject,
 		Checkpoint: sCheckpoint,
+		Spans:      searchSpan.Scope(),
 	}, drv)
+	searchSpan.End()
 	if opts.Trace != nil {
 		emitPhase(opts.Trace, -1, trace.PhaseSearch, searchStart)
 	}
@@ -978,6 +1016,7 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 		Seed:          seed,
 		Trace:         opts.Trace,
 		TraceAttempt:  attempt,
+		Spans:         opts.Spans,
 		Inject:        opts.Inject,
 	}
 	// The initial assignment: flat cluster growth by default; behind
@@ -999,6 +1038,7 @@ func carveFM(sub *hypergraph.Graph, d library.Device, target, total int, opts Op
 			Seed:          seed,
 			Trace:         opts.Trace,
 			TraceAttempt:  attempt,
+			Spans:         opts.Spans,
 			Now:           opts.Now,
 		}
 		if weights != nil {

@@ -40,6 +40,7 @@ import (
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/replication"
 	"fpgapart/internal/search"
+	"fpgapart/internal/span"
 	"fpgapart/internal/trace"
 )
 
@@ -120,6 +121,13 @@ type Config struct {
 	// search decisions.
 	Trace        trace.Sink
 	TraceAttempt int
+	// Spans, when armed, times the V-cycle as a span subtree of the
+	// enclosing attempt: one "coarsen" span, one "level" span per
+	// refined level (FM/parfm pass spans nest under it), and one
+	// "uncoarsen" span over the projection sweep. The disarmed zero
+	// value is inert. Span clock readings feed only the trace, never
+	// search decisions.
+	Spans span.Scope
 	// Now supplies the wall clock for phase events (nil = time.Now;
 	// never read when Trace is nil).
 	Now func() time.Time
@@ -232,18 +240,28 @@ func Run(g *hypergraph.Graph, cfg Config) (Result, error) {
 	if cfg.Trace != nil {
 		coarsenStart = now()
 	}
+	coarsenSpan := cfg.Spans.Start("coarsen", cfg.TraceAttempt)
 	levels := coarsen(g, cfg, target)
+	coarsenSpan.End()
 	if cfg.Trace != nil {
 		cfg.Trace.Event(trace.Event{Kind: trace.KindPhase, Attempt: cfg.TraceAttempt, Phase: trace.PhaseCoarsen, Dur: now().Sub(coarsenStart)})
 	}
 	top := len(levels) - 1
 
 	var res Result
-	assign, stats, err := initialPartition(levels[top], cfg, window(lo, hi, total, slack(cfg, levels[top])), target)
+	topSpan := cfg.Spans.Start("level", cfg.TraceAttempt)
+	topCfg := cfg
+	topCfg.Spans = topSpan.Scope()
+	assign, stats, err := initialPartition(levels[top], topCfg, window(lo, hi, total, slack(cfg, levels[top])), target)
 	if err != nil {
+		topSpan.End()
 		return Result{}, err
 	}
 	stats.Level = top
+	if topSpan.Scope().Enabled() {
+		topSpan.Detail(levelDetail(stats))
+	}
+	topSpan.End()
 	res.Levels = append(res.Levels, stats)
 	emitLevel(cfg, stats)
 
@@ -251,20 +269,31 @@ func Run(g *hypergraph.Graph, cfg Config) (Result, error) {
 	if cfg.Trace != nil {
 		uncoarsenStart = now()
 	}
+	uncoarsenSpan := cfg.Spans.Start("uncoarsen", cfg.TraceAttempt)
 	var runner fm.Runner
 	cut := stats.CutRefined
 	area0 := areaOf(levels[top].g, assign)
 	for l := top - 1; l >= 0; l-- {
 		fine, perr := levels[l+1].cl.Project(assign, levels[l].g.NumCells())
 		if perr != nil {
+			uncoarsenSpan.End()
 			return Result{}, fmt.Errorf("multilevel: level %d projection: %w", l, perr)
 		}
 		assign = fine
-		st, cutProj, lvl, lerr := refineLevel(&runner, levels[l], assign, cfg, window(lo, hi, total, slack(cfg, levels[l])), l)
+		lvlSpan := uncoarsenSpan.Scope().Start("level", cfg.TraceAttempt)
+		lvlCfg := cfg
+		lvlCfg.Spans = lvlSpan.Scope()
+		st, cutProj, lvl, lerr := refineLevel(&runner, levels[l], assign, lvlCfg, window(lo, hi, total, slack(cfg, levels[l])), l)
 		if lerr != nil {
+			lvlSpan.End()
+			uncoarsenSpan.End()
 			return Result{}, lerr
 		}
 		lvl.CutProjected = cutProj
+		if lvlSpan.Scope().Enabled() {
+			lvlSpan.Detail(levelDetail(lvl))
+		}
+		lvlSpan.End()
 		res.Levels = append(res.Levels, lvl)
 		emitLevel(cfg, lvl)
 		for c := range assign {
@@ -273,6 +302,7 @@ func Run(g *hypergraph.Graph, cfg Config) (Result, error) {
 		cut = lvl.CutRefined
 		area0 = st.Area(0)
 	}
+	uncoarsenSpan.End()
 	if cfg.Trace != nil {
 		cfg.Trace.Event(trace.Event{Kind: trace.KindPhase, Attempt: cfg.TraceAttempt, Phase: trace.PhaseUncoarsen, Dur: now().Sub(uncoarsenStart)})
 	}
@@ -286,6 +316,11 @@ func Run(g *hypergraph.Graph, cfg Config) (Result, error) {
 		res.RepairMoves += s.RepairMoves
 	}
 	return res, nil
+}
+
+// levelDetail renders one level's span annotation (armed paths only).
+func levelDetail(s LevelStats) string {
+	return fmt.Sprintf("level=%d cells=%d cut=%d", s.Level, s.Cells, s.CutRefined)
 }
 
 // emitLevel reports one refined level to the trace sink.
@@ -431,6 +466,7 @@ func initialPartition(lv level, cfg Config, w bounds, target int) ([]replication
 					RefineWorkers: cfg.RefineWorkers,
 					Seed:          seed,
 					Trace:         cfg.Trace, TraceAttempt: cfg.TraceAttempt,
+					Spans: cfg.Spans,
 				})
 				if err != nil {
 					return sol{}, err
@@ -498,6 +534,7 @@ func refineLevel(runner *fm.Runner, lv level, assign []replication.Block, cfg Co
 		RefineWorkers: cfg.RefineWorkers,
 		Seed:          cfg.Seed + int64(l+1)*refineStride,
 		Trace:         cfg.Trace, TraceAttempt: cfg.TraceAttempt,
+		Spans: cfg.Spans,
 	})
 	if err != nil {
 		return nil, 0, LevelStats{}, fmt.Errorf("multilevel: level %d refinement: %w", l, err)

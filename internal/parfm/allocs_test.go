@@ -70,7 +70,14 @@ func TestParFMPassAllocs(t *testing.T) {
 			r.cfg = cfg.withDefaults()
 			r.replOnly = tc.replOnly
 			var res Result
-			if avg := testing.AllocsPerRun(5, func() { r.pass(&res) }); avg != 0 {
+			// Bracket each pass with the disarmed span scope exactly as
+			// the round loop does: a zero Scope must cost a predicted
+			// branch, never an allocation.
+			if avg := testing.AllocsPerRun(5, func() {
+				run := r.cfg.Spans.Start("parfm-pass", r.cfg.TraceAttempt)
+				r.pass(&res)
+				run.End()
+			}); avg != 0 {
 				t.Fatalf("steady-state pass allocates %v times", avg)
 			}
 		})

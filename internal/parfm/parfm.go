@@ -51,6 +51,7 @@ import (
 	"fpgapart/internal/faultinject"
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/replication"
+	"fpgapart/internal/span"
 	"fpgapart/internal/trace"
 )
 
@@ -84,6 +85,10 @@ type Config struct {
 	Trace trace.Sink
 	// TraceAttempt labels emitted events; use -1 for standalone runs.
 	TraceAttempt int
+	// Spans, when armed, times every pass as a "parfm-pass" span in
+	// the enclosing attempt's trace. The disarmed zero value costs a
+	// single predicted branch per pass (see TestParFMPassAllocs).
+	Spans span.Scope
 	// Inject, when non-nil, consults the fault plan at every pass
 	// boundary, mirroring the serial engine's injection site.
 	Inject *faultinject.Plan
@@ -241,7 +246,9 @@ func (r *Runner) Run(st *replication.State, cfg Config) (Result, error) {
 					return any
 				}
 			}
+			run := cfg.Spans.Start("parfm-pass", cfg.TraceAttempt)
 			improved, moves := r.pass(&res)
+			run.End()
 			res.Passes++
 			res.Moves += moves
 			if !improved {

@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"fpgapart/internal/faultinject"
+	"fpgapart/internal/span"
 )
 
 // Options configures one orchestrated search.
@@ -69,6 +70,12 @@ type Options struct {
 	// nil hook costs one predicted branch per fold and the enabled
 	// path allocates nothing (Progress is a flat value struct).
 	Checkpoint func(Progress)
+	// Spans, when armed, wraps every attempt in an "attempt" span and
+	// hands each attempt its own child scope through the context
+	// (span.FromContext), so engine spans nest under their attempt.
+	// The disarmed zero value costs one predicted branch per attempt.
+	// Spans only read the clock; they never influence the search.
+	Spans span.Scope
 }
 
 // Progress is an attempt-granular snapshot of the reduction, handed to
@@ -310,7 +317,13 @@ func Run[S any](ctx context.Context, opts Options, d Driver[S]) (Outcome[S], err
 			defer wg.Done()
 			attempt := d.NewAttempt()
 			for i := range next {
-				sol, err := runAttempt(ctx, attempt, i, opts.Seed+int64(i)*stride, opts.Inject)
+				actx := ctx
+				run := opts.Spans.Start("attempt", i)
+				if opts.Spans.Enabled() {
+					actx = span.NewContext(ctx, run.Scope())
+				}
+				sol, err := runAttempt(actx, attempt, i, opts.Seed+int64(i)*stride, opts.Inject)
+				run.End()
 				results <- report[S]{attempt: i, sol: sol, err: err}
 			}
 		}()

@@ -15,6 +15,7 @@ import (
 	"fpgapart/internal/core"
 	"fpgapart/internal/hypergraph"
 	"fpgapart/internal/netlist"
+	"fpgapart/internal/span"
 	"fpgapart/internal/techmap"
 	"fpgapart/internal/topology"
 	"fpgapart/internal/trace"
@@ -67,6 +68,11 @@ type JobStatus struct {
 	Result    *JobResult `json:"result,omitempty"`
 	Error     string     `json:"error,omitempty"`
 	ErrorKind string     `json:"error_kind,omitempty"`
+	// Spans carries this process's recorded spans for the job, returned
+	// only on synchronous responses whose request arrived with a W3C
+	// traceparent header — the coordinator ingests them to stitch one
+	// cross-process trace.
+	Spans []span.Span `json:"spans,omitempty"`
 }
 
 // JobResult is the solution summary, including the degradation
@@ -149,6 +155,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/buildinfo", s.instrument("/debug/buildinfo", handleBuildInfo))
+	s.mux.HandleFunc("GET /debug/trace/{job}", s.instrument("/debug/trace/{job}", s.handleTraceGet))
+	s.mux.HandleFunc("GET /debug/flightrecorder", s.instrument("/debug/flightrecorder", s.handleFlightRecorder))
 	if s.cfg.EnablePprof {
 		// pprof handlers stay uninstrumented: profile endpoints block for
 		// their sampling window and would dominate the latency histogram.
@@ -415,7 +423,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		parseFailure(w, err)
 		return
 	}
-	j, status := s.submit(requestID(r.Context()), req, g, opts, timeout)
+	tid, parent, _ := span.ParseTraceparent(r.Header.Get("traceparent"))
+	j, status := s.submit(requestID(r.Context()), tid, parent, req, g, opts, timeout)
 	if j == nil {
 		s.admissionError(w, status)
 		return
@@ -435,7 +444,9 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 
 // handleSync admits a job and waits for it, mapping the job's failure
 // kind to an HTTP status. If the client goes away first the job is
-// canceled at its next deterministic checkpoint.
+// canceled at its next deterministic checkpoint. A request that
+// arrived with a traceparent header gets the job's recorded spans in
+// the response, so the caller can stitch them into its own trace.
 func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeRequest(r)
 	if err != nil {
@@ -447,7 +458,8 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 		parseFailure(w, err)
 		return
 	}
-	j, status := s.submit(requestID(r.Context()), req, g, opts, timeout)
+	tid, parent, traced := span.ParseTraceparent(r.Header.Get("traceparent"))
+	j, status := s.submit(requestID(r.Context()), tid, parent, req, g, opts, timeout)
 	if j == nil {
 		s.admissionError(w, status)
 		return
@@ -463,11 +475,67 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 		<-j.done
 	}
 	st := j.status()
+	if traced {
+		// Return the subtree under the job's own root span — exactly
+		// this job's spans, even when other work shares the trace.
+		jt, root := j.traceRef()
+		if !jt.IsZero() && root != 0 {
+			st.Spans = s.cfg.Tracer.Collector().Subtree(jt, root)
+		}
+	}
 	if st.State == StateDone {
 		writeJSON(w, http.StatusOK, st)
 		return
 	}
 	writeJSON(w, syncFailureStatus(st.ErrorKind), st)
+}
+
+// traceStatus is the JSON body of GET /debug/trace/{job}: the job's
+// span forest, cross-process when worker spans were ingested.
+type traceStatus struct {
+	Job   string       `json:"job"`
+	Trace span.TraceID `json:"trace"`
+	// Dropped counts spans lost to the per-trace retention bound.
+	Dropped int          `json:"dropped,omitempty"`
+	Spans   int          `json:"spans"`
+	Tree    []*span.Node `json:"tree"`
+}
+
+// handleTraceGet serves one job's span tree as JSON.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("job"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job", Kind: KindNotFound})
+		return
+	}
+	tid, _ := j.traceRef()
+	if tid.IsZero() {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "job has not started; no trace yet", Kind: KindNotFound})
+		return
+	}
+	spans, dropped := s.cfg.Tracer.Collector().Trace(tid)
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no spans recorded for job", Kind: KindNotFound})
+		return
+	}
+	writeJSON(w, http.StatusOK, traceStatus{
+		Job: j.id, Trace: tid, Dropped: dropped, Spans: len(spans), Tree: span.Tree(spans),
+	})
+}
+
+// flightStatus is the JSON body of GET /debug/flightrecorder: the
+// last-N completed spans of this process, oldest first.
+type flightStatus struct {
+	Process string      `json:"process"`
+	Total   uint64      `json:"total"`
+	Spans   []span.Span `json:"spans"`
+}
+
+// handleFlightRecorder serves the process's bounded flight-recorder
+// ring — the always-on "what was this process just doing" view.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	spans, total := s.cfg.Tracer.Flight().Snapshot()
+	writeJSON(w, http.StatusOK, flightStatus{Process: s.cfg.Tracer.Process(), Total: total, Spans: spans})
 }
 
 func syncFailureStatus(kind string) int {

@@ -95,6 +95,36 @@ func requestID(ctx context.Context) string {
 	return v
 }
 
+// RequestIDFromContext returns the request ID instrument stored in a
+// handler's context ("" outside one). The coordinator uses it to
+// forward the submitting request's ID to workers.
+func RequestIDFromContext(ctx context.Context) string { return requestID(ctx) }
+
+// ContextWithRequestID returns ctx carrying rid, in the slot
+// RequestIDFromContext reads. The server stamps it onto the context it
+// hands the Distribute hook.
+func ContextWithRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, rid)
+}
+
+// maxRequestIDLen bounds an inbound X-Request-Id before the server
+// adopts it, so a hostile header cannot bloat logs.
+const maxRequestIDLen = 64
+
+// validRequestID accepts inbound IDs of sane length made of printable
+// non-space ASCII (a header cannot carry control bytes into logs).
+func validRequestID(rid string) bool {
+	if rid == "" || len(rid) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(rid); i++ {
+		if rid[i] <= ' ' || rid[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
 // statusRecorder captures the status code a handler writes.
 type statusRecorder struct {
 	http.ResponseWriter
@@ -107,15 +137,20 @@ func (w *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with the per-endpoint observability
-// envelope: a process-unique request ID (echoed in X-Request-Id and
-// threaded through the context into job logs), a latency histogram
-// observation and a request counter labeled with the final status.
-// The endpoint label is the route pattern, never the raw path, so
-// cardinality stays bounded.
+// envelope: a request ID (echoed in X-Request-Id and threaded through
+// the context into job logs), a latency histogram observation and a
+// request counter labeled with the final status. A request that
+// arrives with a well-formed X-Request-Id keeps it — a coordinator's
+// ID follows the job onto the worker's logs — otherwise the server
+// mints a process-unique one. The endpoint label is the route
+// pattern, never the raw path, so cardinality stays bounded.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	latency := s.met.reqLatency.With(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
-		rid := fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+		rid := r.Header.Get("X-Request-Id")
+		if !validRequestID(rid) {
+			rid = fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+		}
 		w.Header().Set("X-Request-Id", rid)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := s.clock.Now()

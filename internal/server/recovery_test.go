@@ -11,6 +11,7 @@ import (
 
 	"fpgapart/internal/faultinject"
 	"fpgapart/internal/jobstore"
+	"fpgapart/internal/span"
 )
 
 func mustJSONString(t *testing.T, v any) string {
@@ -64,7 +65,7 @@ func TestDrainRecoverRestart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if j, status := s1.submit("t", &req, g, opts, timeout); j == nil {
+		if j, status := s1.submit("t", span.TraceID{}, 0, &req, g, opts, timeout); j == nil {
 			t.Fatalf("submit %s: %d", req.ID, status)
 		}
 	}
@@ -142,6 +143,25 @@ func TestDrainRecoverRestart(t *testing.T) {
 		got.ResumedFromAttempt = nil
 		if g, w := mustJSONString(t, &got), mustJSONString(t, want); g != w {
 			t.Fatalf("recovered result for %s diverged:\n got %s\nwant %s", req.ID, g, w)
+		}
+
+		// Checkpoint identity pins the trace: the resumed run derives
+		// the same trace ID the original life did, so both lives' spans
+		// belong to one logical trace.
+		jt, root := j.traceRef()
+		if want := span.DeriveTraceID(req.ID, req.Seed, req.Solutions); jt != want {
+			t.Fatalf("recovered job %s trace %s, want the checkpoint-derived %s", req.ID, jt, want)
+		}
+		if root == 0 {
+			t.Fatalf("recovered job %s has no root span", req.ID)
+		}
+		spans, _ := s2.cfg.Tracer.Collector().Trace(jt)
+		names := make(map[string]bool)
+		for _, sp := range spans {
+			names[sp.Name] = true
+		}
+		if !names["job"] || !names["search"] {
+			t.Fatalf("recovered job %s trace lacks the core spans (have %v)", req.ID, names)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		ref.Shutdown(ctx)

@@ -41,6 +41,7 @@ import (
 	"fpgapart/internal/library"
 	"fpgapart/internal/netlist"
 	"fpgapart/internal/search"
+	"fpgapart/internal/span"
 	"fpgapart/internal/telemetry"
 )
 
@@ -82,6 +83,16 @@ type Config struct {
 	// clock feeds only observability — never search decisions — so
 	// fixed-seed job results are byte-identical under a fake clock.
 	Clock telemetry.Clock
+	// Tracer records every job as a causal span tree (see
+	// internal/span): a "job" root span whose descendants cover the
+	// search attempts, V-cycle levels and FM passes, served by GET
+	// /debug/trace/{job} and GET /debug/flightrecorder. A request
+	// carrying a W3C traceparent header parents the job under the
+	// caller's span — so a coordinator fan-out yields one stitched
+	// cross-process trace — and the sync response carries this
+	// process's spans back. Nil creates a default "kpartd" tracer on
+	// the configured clock; spans never feed search decisions.
+	Tracer *span.Tracer
 	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/.
 	// Off by default: profiling endpoints are operator-only surface.
 	EnablePprof bool
@@ -136,6 +147,9 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = telemetry.SystemClock()
 	}
+	if c.Tracer == nil {
+		c.Tracer = span.NewTracer(span.Options{Process: "kpartd", Now: c.Clock.Now})
+	}
 	return c
 }
 
@@ -186,18 +200,38 @@ type job struct {
 	recovered bool               // replayed from the durable store
 	cancel    context.CancelFunc // set while running; cuts the search
 
-	mu      sync.Mutex
-	state   string
-	result  *JobResult
-	errMsg  string
-	errKind string
-	done    chan struct{}
+	// parentSpan is the caller's span from the submission's traceparent
+	// header (0 = the job span is a trace root). Written once at
+	// submission; the worker parents the job span under it.
+	parentSpan span.ID
+
+	mu    sync.Mutex
+	state string
+	// trace is the job's trace ID: the submission's traceparent when it
+	// carried one, else derived from the job's durable identity in
+	// runJob — so a crash-recovered resume lands in the original trace.
+	// rootSpan is the "job" span runJob opens; a sync response returns
+	// its recorded subtree.
+	trace    span.TraceID
+	rootSpan span.ID
+	result   *JobResult
+	errMsg   string
+	errKind  string
+	done     chan struct{}
 }
 
 func (j *job) setState(s string) {
 	j.mu.Lock()
 	j.state = s
 	j.mu.Unlock()
+}
+
+// traceRef snapshots the job's trace identity (zero until runJob
+// starts it, unless the submission carried a traceparent).
+func (j *job) traceRef() (span.TraceID, span.ID) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace, j.rootSpan
 }
 
 // status snapshots the job for the API.
@@ -355,9 +389,12 @@ func (s *Server) Ready() bool {
 // status: 202 accepted, 200 for an idempotent replay of a known ID,
 // 429 when the queue is full, 503 when draining. reqID is the
 // submitting request's ID; it is stored on the job so lifecycle logs
-// can be joined back to the request. With a durable store configured,
-// the submission is persisted (and fsync'd) once the job is admitted.
-func (s *Server) submit(reqID string, req *JobRequest, g *hypergraph.Graph, opts core.Options, timeout time.Duration) (*job, int) {
+// can be joined back to the request. trace/parent carry the
+// submission's traceparent header when it had one (an idempotent
+// replay keeps the existing job's trace). With a durable store
+// configured, the submission is persisted (and fsync'd) once the job
+// is admitted.
+func (s *Server) submit(reqID string, trace span.TraceID, parent span.ID, req *JobRequest, g *hypergraph.Graph, opts core.Options, timeout time.Duration) (*job, int) {
 	id := req.ID
 	s.jobsMu.Lock()
 	if id != "" {
@@ -375,7 +412,8 @@ func (s *Server) submit(reqID string, req *JobRequest, g *hypergraph.Graph, opts
 			}
 		}
 	}
-	j := &job{id: id, reqID: reqID, req: req, graph: g, opts: opts, timeout: timeout, state: StateQueued, done: make(chan struct{})}
+	j := &job{id: id, reqID: reqID, req: req, graph: g, opts: opts, timeout: timeout,
+		trace: trace, parentSpan: parent, state: StateQueued, done: make(chan struct{})}
 	s.jobs[id] = j
 	s.jobsMu.Unlock()
 
@@ -443,10 +481,31 @@ func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.cancel = cancel
+	if j.trace.IsZero() {
+		// No traceparent on the submission: derive the trace from the
+		// job's durable identity — the same identity the checkpoint
+		// carries — so a crash-recovered resume joins the original
+		// run's trace instead of starting a disconnected one.
+		j.trace = span.DeriveTraceID(j.id, j.opts.Seed, j.opts.Solutions)
+	}
+	trace := j.trace
 	j.mu.Unlock()
 	s.persist(j.id, "state record", func() error {
 		return s.cfg.Store.AppendState(j.id, jobstore.StateRunning)
 	})
+
+	// The job span roots this process's slice of the trace; every
+	// engine span (attempt, level, fm-pass, ...) descends from it. It
+	// must end before j.done closes so a sync waiter sees it recorded.
+	jobRun := s.cfg.Tracer.Root(trace, j.parentSpan).Start("job", -1)
+	if j.graph != nil {
+		jobRun.Detail(fmt.Sprintf("job=%s cells=%d seed=%d", j.id, j.graph.NumCells(), j.opts.Seed))
+	}
+	defer jobRun.End()
+	j.opts.Spans = jobRun.Scope()
+	j.mu.Lock()
+	j.rootSpan = jobRun.SpanID()
+	j.mu.Unlock()
 
 	// Every job's engine trace feeds the server's metrics registry; the
 	// injected clock times its phases. Neither perturbs the search.
@@ -469,7 +528,9 @@ func (s *Server) runJob(j *job) {
 	var result *JobResult
 	var err error
 	if s.cfg.Distribute != nil && j.req != nil {
-		result, err = s.cfg.Distribute(ctx, j.req, j.opts)
+		// The hook's ctx carries the submitting request's ID so the
+		// coordinator can forward it (X-Request-Id) and tag its logs.
+		result, err = s.cfg.Distribute(ContextWithRequestID(ctx, j.reqID), j.req, j.opts)
 	} else {
 		var res core.Result
 		res, err = core.PartitionContext(ctx, j.graph, j.opts)
@@ -526,6 +587,12 @@ func (s *Server) LocalAttempt() func(ctx context.Context, req *JobRequest) (*Job
 		g, opts, _, err := s.parseRequest(req)
 		if err != nil {
 			return nil, err
+		}
+		// A coordinator falling back to its own engine passes the rpc
+		// span's scope through ctx, keeping the local attempt in the
+		// same trace as the remote ones.
+		if sc := span.FromContext(ctx); sc.Enabled() {
+			opts.Spans = sc
 		}
 		res, err := core.PartitionContext(ctx, g, opts)
 		if err != nil {

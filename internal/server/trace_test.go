@@ -1,0 +1,217 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"fpgapart/internal/span"
+)
+
+// postTraced posts a sync partition request with a traceparent header
+// and returns the decoded status.
+func postTraced(t *testing.T, url, traceparent string, req JobRequest) (*http.Response, JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("traceparent", traceparent)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	return resp, st
+}
+
+// A synchronous request carrying a W3C traceparent must come back with
+// the job's span subtree: same trace ID as the header, the job root
+// parented under the caller's span — the wire contract coordinator
+// fan-out relies on to stitch one cross-process trace.
+func TestSyncTraceparentRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const parentHex = "00000000000000aa"
+	tp := "00-0123456789abcdef0123456789abcdef-" + parentHex + "-01"
+	wantTrace, wantParent, ok := span.ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("test traceparent %q does not parse", tp)
+	}
+	resp, st := postTraced(t, ts.URL+"/v1/partition", tp, JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 3, Seed: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync: %d (%+v)", resp.StatusCode, st)
+	}
+	if len(st.Spans) == 0 {
+		t.Fatal("traced sync response carries no spans")
+	}
+	var root *span.Span
+	for i := range st.Spans {
+		s := &st.Spans[i]
+		if s.Trace != wantTrace {
+			t.Fatalf("span %s on trace %s, want %s", s.Name, s.Trace, wantTrace)
+		}
+		if s.Name == "job" {
+			root = s
+		}
+	}
+	if root == nil {
+		t.Fatalf("no job root span in %d returned spans", len(st.Spans))
+	}
+	if root.Parent != wantParent {
+		t.Fatalf("job root parent %d, want %d (the caller's span)", root.Parent, wantParent)
+	}
+	// An untraced request must stay lean: no span payload.
+	resp2, st2 := postJSON(t, ts.URL+"/v1/partition", JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 3, Seed: 1})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("untraced sync: %d", resp2.StatusCode)
+	}
+	if len(st2.Spans) != 0 {
+		t.Fatalf("untraced response carries %d spans", len(st2.Spans))
+	}
+}
+
+// GET /debug/trace/{job} serves the span tree of a completed job, and
+// 404s for unknown jobs.
+func TestDebugTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, st := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 3, Seed: 1})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	final := waitDone(t, ts.URL, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job failed: %+v", final)
+	}
+	hres, err := http.Get(ts.URL + "/debug/trace/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint: %d", hres.StatusCode)
+	}
+	var tr struct {
+		Job   string       `json:"job"`
+		Trace string       `json:"trace"`
+		Spans int          `json:"spans"`
+		Tree  []*span.Node `json:"tree"`
+	}
+	if err := json.NewDecoder(hres.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Job != st.ID || tr.Spans == 0 || len(tr.Tree) == 0 {
+		t.Fatalf("bad trace body: %+v", tr)
+	}
+	if tr.Tree[0].Name != "job" {
+		t.Fatalf("tree root %q, want \"job\"", tr.Tree[0].Name)
+	}
+	// The span vocabulary of an in-process run.
+	names := make(map[string]bool)
+	var walk func(n *span.Node)
+	walk = func(n *span.Node) {
+		names[n.Name] = true
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, n := range tr.Tree {
+		walk(n)
+	}
+	for _, want := range []string{"job", "search", "attempt", "fold"} {
+		if !names[want] {
+			t.Fatalf("trace tree missing %q (have %v)", want, names)
+		}
+	}
+	if res, err := http.Get(ts.URL + "/debug/trace/no-such-job"); err != nil {
+		t.Fatal(err)
+	} else {
+		res.Body.Close()
+		if res.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job: %d, want 404", res.StatusCode)
+		}
+	}
+}
+
+// GET /debug/flightrecorder exposes the bounded ring of recently
+// completed spans — non-empty once any job has run.
+func TestDebugFlightRecorder(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, st := postJSON(t, ts.URL+"/v1/partition", JobRequest{Circuit: circuitText(t, 120, 1), Solutions: 2, Seed: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync: %d (%+v)", resp.StatusCode, st)
+	}
+	hres, err := http.Get(ts.URL + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		t.Fatalf("flightrecorder: %d", hres.StatusCode)
+	}
+	var fs struct {
+		Process string      `json:"process"`
+		Total   uint64      `json:"total"`
+		Spans   []span.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(hres.Body).Decode(&fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Process != "kpartd" {
+		t.Fatalf("process %q, want kpartd", fs.Process)
+	}
+	if fs.Total == 0 || len(fs.Spans) == 0 {
+		t.Fatalf("flight recorder empty after a completed job: %+v", fs)
+	}
+	if fs.Total < uint64(len(fs.Spans)) {
+		t.Fatalf("total %d < returned %d", fs.Total, len(fs.Spans))
+	}
+}
+
+// A well-formed inbound X-Request-Id is adopted and echoed; a
+// malformed one is replaced by a minted process-unique ID.
+func TestRequestIDAdoption(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, inbound string
+		adopt         bool
+	}{
+		{"well-formed", "coord-abc123", true},
+		{"empty", "", false},
+		{"embedded space", "has a space", false},
+		{"embedded tab", "bad\tid", false},
+		{"overlong", strings.Repeat("x", 65), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.inbound != "" {
+				req.Header.Set("X-Request-Id", tc.inbound)
+			}
+			res, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Body.Close()
+			got := res.Header.Get("X-Request-Id")
+			if tc.adopt {
+				if got != tc.inbound {
+					t.Fatalf("adopted ID %q, want %q", got, tc.inbound)
+				}
+			} else {
+				if got == tc.inbound || !strings.HasPrefix(got, "req-") {
+					t.Fatalf("malformed inbound %q should be replaced with a minted req- ID, got %q", tc.inbound, got)
+				}
+			}
+		})
+	}
+}

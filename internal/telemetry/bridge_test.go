@@ -110,6 +110,7 @@ func TestBridgeEventAllocs(t *testing.T) {
 		{Kind: trace.KindCarveRejected, Reason: "fm"},
 		{Kind: trace.KindSolution, Feasible: true, Improved: true},
 		{Kind: trace.KindPhase, Phase: trace.PhaseFold, Dur: time.Millisecond},
+		{Kind: trace.KindLevel, Level: 2, Cells: 120, Cut: 30},
 		{Kind: trace.KindParRound, Pass: 1, Round: 2, Proposals: 40, Commits: 4, Stale: 2},
 	}
 	if avg := testing.AllocsPerRun(200, func() {

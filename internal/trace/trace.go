@@ -12,6 +12,12 @@
 // its solution attempt index), while solution events are emitted by
 // the single-threaded index-ordered reduction, so their order is
 // deterministic for a fixed seed.
+//
+// This package answers "how many / how much" (counters, histograms,
+// JSONL streams); its sibling internal/span answers "when and under
+// what" — durations on a causal tree that crosses process boundaries.
+// The two layers share the engine hooks but are armed independently:
+// trace.Sink on Options.Trace, span.Scope on Options.Spans.
 package trace
 
 import (
